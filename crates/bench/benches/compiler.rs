@@ -1,0 +1,32 @@
+//! Compiler-pipeline benchmarks: end-to-end builds at every level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_passes::{compile, CompileOptions, OptLevel, Personality};
+
+fn bench_levels(c: &mut Criterion) {
+    let src = dt_testsuite::program("zlib").unwrap().source;
+    let module = dt_frontend::lower_source(src).unwrap();
+    let mut group = c.benchmark_group("compile_zlib");
+    for personality in [Personality::Gcc, Personality::Clang] {
+        for &level in OptLevel::levels_for(personality) {
+            group.bench_with_input(
+                BenchmarkId::new(personality.name(), level.name()),
+                &level,
+                |b, &level| {
+                    b.iter(|| compile(&module, &CompileOptions::new(personality, level)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = dt_testsuite::program("libdwarf").unwrap().source;
+    c.bench_function("frontend_libdwarf", |b| {
+        b.iter(|| dt_frontend::lower_source(src).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_levels, bench_frontend);
+criterion_main!(benches);

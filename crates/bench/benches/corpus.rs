@@ -1,0 +1,43 @@
+//! Fuzzing and minimization benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dt_corpus::FuzzConfig;
+
+fn bench_fuzz(c: &mut Criterion) {
+    let p = dt_testsuite::program("libyaml").unwrap();
+    let module = dt_frontend::lower_source(p.source).unwrap();
+    let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+    let seeds: Vec<Vec<u8>> = p.seeds.iter().map(|s| s.to_vec()).collect();
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    group.bench_function("fuzz_500_iters_libyaml", |b| {
+        b.iter(|| {
+            dt_corpus::fuzz(
+                &obj,
+                "fuzz_yaml",
+                &seeds,
+                &FuzzConfig {
+                    iterations: 500,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    let queue = dt_corpus::fuzz(
+        &obj,
+        "fuzz_yaml",
+        &seeds,
+        &FuzzConfig {
+            iterations: 1000,
+            ..Default::default()
+        },
+    )
+    .queue;
+    group.bench_function("cmin_libyaml", |b| {
+        b.iter(|| dt_corpus::cmin(&obj, "fuzz_yaml", &[], &queue, 300_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fuzz);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Metric-computation benchmarks (the four methods).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dt_minic::analysis::SourceAnalysis;
+use dt_passes::{compile_source, CompileOptions, OptLevel, Personality};
+
+fn bench_methods(c: &mut Criterion) {
+    let p = dt_testsuite::program("libexif").unwrap();
+    let o0 = compile_source(p.source, &CompileOptions::new(Personality::Gcc, OptLevel::O0))
+        .unwrap();
+    let o2 = compile_source(p.source, &CompileOptions::new(Personality::Gcc, OptLevel::O2))
+        .unwrap();
+    let inputs: Vec<Vec<u8>> = p.seeds.iter().map(|s| s.to_vec()).collect();
+    let session = dt_debugger::SessionConfig::default();
+    let base = dt_debugger::trace(&o0, "fuzz_exif", &inputs, &session).unwrap();
+    let opt = dt_debugger::trace(&o2, "fuzz_exif", &inputs, &session).unwrap();
+    let analysis = SourceAnalysis::of(&dt_minic::parse(p.source).unwrap());
+    c.bench_function("all_methods_libexif", |b| {
+        b.iter(|| dt_metrics::all_methods(&o2.debug, &opt, &base, &analysis))
+    });
+    c.bench_function("hybrid_libexif", |b| {
+        b.iter(|| dt_metrics::hybrid(&opt, &base, &analysis))
+    });
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

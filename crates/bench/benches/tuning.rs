@@ -1,0 +1,25 @@
+//! End-to-end DebugTuner benchmarks: the per-program evaluation that
+//! dominates the experiment runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use debugtuner::ProgramInput;
+use dt_passes::{OptLevel, Personality};
+
+fn bench_evaluate(c: &mut Criterion) {
+    let p = ProgramInput {
+        name: "bench".into(),
+        source: dt_testsuite::program("lighttpd").unwrap().source.to_string(),
+        harness: "fuzz_request".into(),
+        inputs: vec![b"GET /index HTTP\nHost: x\n\n".to_vec()],
+        entry_args: vec![],
+    };
+    let mut group = c.benchmark_group("tuner");
+    group.sample_size(10);
+    group.bench_function("evaluate_lighttpd_gcc_o2", |b| {
+        b.iter(|| debugtuner::evaluate_program(&p, Personality::Gcc, OptLevel::O2, 2_000_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! VM throughput benchmarks on the SPEC-like kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_passes::{compile_source, CompileOptions, OptLevel, Personality};
+use dt_testsuite::spec::{spec_suite, Workload};
+
+fn bench_vm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_spec_test_workload");
+    group.sample_size(10);
+    for b in spec_suite().into_iter().take(4) {
+        let obj = compile_source(
+            b.source,
+            &CompileOptions::new(Personality::Clang, OptLevel::O2),
+        )
+        .unwrap();
+        let iters = b.iterations(Workload::Test);
+        group.bench_with_input(BenchmarkId::from_parameter(b.name), &obj, |bench, obj| {
+            bench.iter(|| {
+                dt_vm::Vm::run_to_completion(obj, "bench", &[iters], &[], dt_vm::VmConfig::default())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,313 @@
+//! The debug-information evaluation component (Section III-A).
+
+use dt_metrics::Metrics;
+use dt_minic::analysis::SourceAnalysis;
+use dt_passes::{compile_source, pipeline_pass_names, CompileOptions, OptLevel, PassGate, Personality};
+use serde::{Deserialize, Serialize};
+
+/// A program plus the inputs driving its debug sessions.
+#[derive(Debug, Clone)]
+pub struct ProgramInput {
+    pub name: String,
+    pub source: String,
+    /// Harness entry point.
+    pub harness: String,
+    pub inputs: Vec<Vec<u8>>,
+    pub entry_args: Vec<i64>,
+}
+
+impl ProgramInput {
+    /// Builds tuner input from a suite program by running the paper's
+    /// input pipeline: fuzz → cmin → trace-min over the O0 binary.
+    pub fn from_suite(p: &dt_testsuite::TestProgram, fuzz_iterations: u32) -> Self {
+        let harness = p.harnesses[0].to_string();
+        let module = dt_frontend::lower_source(p.source).expect("suite program lowers");
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let seeds: Vec<Vec<u8>> = p.seeds.iter().map(|s| s.to_vec()).collect();
+        let fuzz_cfg = dt_corpus::FuzzConfig {
+            iterations: fuzz_iterations,
+            max_len: 48,
+            seed: 0xD7 ^ p.name.len() as u64,
+            max_steps: 300_000,
+            entry_args: Vec::new(),
+        };
+        let report = dt_corpus::fuzz(&obj, &harness, &seeds, &fuzz_cfg);
+        let cmin = dt_corpus::cmin(&obj, &harness, &[], &report.queue, 300_000);
+        let inputs = dt_corpus::trace_min(&obj, &harness, &[], &cmin, 2_000_000);
+        ProgramInput {
+            name: p.name.to_string(),
+            source: p.source.to_string(),
+            harness,
+            inputs,
+            entry_args: Vec::new(),
+        }
+    }
+}
+
+/// Effect of disabling one pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PassEffect {
+    pub pass: String,
+    /// Hybrid metrics with the pass disabled; `None` when the `.text`
+    /// was identical to the reference (variant discarded, Section
+    /// III-A's pruning) — the metric then equals the reference's.
+    pub metrics: Option<Metrics>,
+    /// `(M_{o,t} - M_o) / M_o` on the product metric.
+    pub relative_increment: f64,
+}
+
+impl PassEffect {
+    /// The product metric of the variant (reference's when pruned).
+    pub fn product(&self, reference: &Metrics) -> f64 {
+        self.metrics.map_or(reference.product, |m| m.product)
+    }
+}
+
+/// Full evaluation of one program at one personality/level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProgramEvaluation {
+    pub program: String,
+    /// Hybrid metrics of the unmodified level (the `M_o` baseline).
+    pub reference: Metrics,
+    /// All four methods on the unmodified level (feeds Table I-style
+    /// comparisons).
+    pub methods: dt_metrics::MethodComparison,
+    /// One entry per gateable pass.
+    pub effects: Vec<PassEffect>,
+    /// Steppable lines in the O0 binary / stepped by the input set.
+    pub steppable_lines_o0: usize,
+    pub stepped_lines_o0: usize,
+}
+
+/// Computes the hybrid metrics of an object against a baseline trace.
+fn metrics_for(
+    obj: &dt_machine::Object,
+    harness: &str,
+    inputs: &[Vec<u8>],
+    entry_args: &[i64],
+    base: &dt_debugger::DebugTrace,
+    analysis: &SourceAnalysis,
+    max_steps: u64,
+) -> (Metrics, dt_debugger::DebugTrace) {
+    let session = dt_debugger::SessionConfig {
+        max_steps_per_input: max_steps,
+        entry_args: entry_args.to_vec(),
+    };
+    let trace = dt_debugger::trace(obj, harness, inputs, &session)
+        .expect("debug session runs");
+    let m = dt_metrics::hybrid(&trace, base, analysis);
+    (m, trace)
+}
+
+/// Runs the four-stage evaluation workflow for one program.
+pub fn evaluate_program(
+    program: &ProgramInput,
+    personality: Personality,
+    level: OptLevel,
+    max_steps: u64,
+) -> ProgramEvaluation {
+    let parsed = dt_minic::compile_check(&program.source).expect("program is valid");
+    let analysis = SourceAnalysis::of(&parsed);
+
+    // Stage 1: builds.
+    let o0 = compile_source(
+        &program.source,
+        &CompileOptions::new(personality, OptLevel::O0),
+    )
+    .expect("O0 build");
+    let reference_obj = compile_source(
+        &program.source,
+        &CompileOptions::new(personality, level),
+    )
+    .expect("reference build");
+
+    // Stage 2+3: baseline and reference traces (source-refined by the
+    // hybrid metric itself).
+    let session = dt_debugger::SessionConfig {
+        max_steps_per_input: max_steps,
+        entry_args: program.entry_args.clone(),
+    };
+    let base_trace = dt_debugger::trace(&o0, &program.harness, &program.inputs, &session)
+        .expect("baseline session");
+    let (reference, ref_trace) = metrics_for(
+        &reference_obj,
+        &program.harness,
+        &program.inputs,
+        &program.entry_args,
+        &base_trace,
+        &analysis,
+        max_steps,
+    );
+    let methods = dt_metrics::all_methods(&reference_obj.debug, &ref_trace, &base_trace, &analysis);
+
+    // Stage 4: one variant per gateable pass, with `.text` pruning.
+    let mut effects = Vec::new();
+    for pass in pipeline_pass_names(personality, level) {
+        let mut opts = CompileOptions::new(personality, level);
+        opts.gate = PassGate::disabling([pass]);
+        let variant = compile_source(&program.source, &opts).expect("variant build");
+        if variant.text_eq(&reference_obj) {
+            effects.push(PassEffect {
+                pass: pass.to_string(),
+                metrics: None,
+                relative_increment: 0.0,
+            });
+            continue;
+        }
+        let (m, _) = metrics_for(
+            &variant,
+            &program.harness,
+            &program.inputs,
+            &program.entry_args,
+            &base_trace,
+            &analysis,
+            max_steps,
+        );
+        let rel = if reference.product > 0.0 {
+            (m.product - reference.product) / reference.product
+        } else if m.product > 0.0 {
+            1.0
+        } else {
+            0.0
+        };
+        effects.push(PassEffect {
+            pass: pass.to_string(),
+            metrics: Some(m),
+            relative_increment: rel,
+        });
+    }
+
+    ProgramEvaluation {
+        program: program.name.clone(),
+        reference,
+        methods,
+        effects,
+        steppable_lines_o0: o0.debug.steppable_lines().len(),
+        stepped_lines_o0: base_trace.stepped_lines().len(),
+    }
+}
+
+/// Evaluates one explicit configuration (level + gate) for a program,
+/// returning the hybrid metrics (used for `Ox-dy` measurements).
+pub fn evaluate_config(
+    program: &ProgramInput,
+    personality: Personality,
+    level: OptLevel,
+    gate: &PassGate,
+    max_steps: u64,
+) -> Metrics {
+    let parsed = dt_minic::compile_check(&program.source).expect("program is valid");
+    let analysis = SourceAnalysis::of(&parsed);
+    let o0 = compile_source(
+        &program.source,
+        &CompileOptions::new(personality, OptLevel::O0),
+    )
+    .expect("O0 build");
+    let session = dt_debugger::SessionConfig {
+        max_steps_per_input: max_steps,
+        entry_args: program.entry_args.clone(),
+    };
+    let base_trace = dt_debugger::trace(&o0, &program.harness, &program.inputs, &session)
+        .expect("baseline session");
+    let mut opts = CompileOptions::new(personality, level);
+    opts.gate = gate.clone();
+    let obj = compile_source(&program.source, &opts).expect("config build");
+    let (m, _) = metrics_for(
+        &obj,
+        &program.harness,
+        &program.inputs,
+        &program.entry_args,
+        &base_trace,
+        &analysis,
+        max_steps,
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> ProgramInput {
+        ProgramInput {
+            name: "eval-test".into(),
+            source: "\
+int scale(int v, int k) {
+    int r = v * k;
+    return r + 1;
+}
+int fuzz_main() {
+    int a = in(0);
+    int total = 0;
+    for (int i = 0; i < 5; i++) {
+        total += scale(a, i);
+    }
+    if (total > 100) {
+        total = 100;
+    }
+    out(total);
+    return total;
+}"
+            .into(),
+            harness: "fuzz_main".into(),
+            inputs: vec![vec![9], vec![60]],
+            entry_args: vec![],
+        }
+    }
+
+    #[test]
+    fn o1_loses_debug_info_vs_o0() {
+        let eval = evaluate_program(&program(), Personality::Gcc, OptLevel::O1, 1_000_000);
+        assert!(eval.reference.product < 1.0, "O1 must lose something");
+        assert!(eval.reference.product > 0.1, "but not everything");
+        assert!(!eval.effects.is_empty());
+    }
+
+    #[test]
+    fn text_pruning_marks_noop_passes() {
+        let eval = evaluate_program(&program(), Personality::Gcc, OptLevel::O1, 1_000_000);
+        let pruned = eval.effects.iter().filter(|e| e.metrics.is_none()).count();
+        assert!(pruned > 0, "some passes must not affect this tiny program");
+    }
+
+    #[test]
+    fn some_pass_recovers_debug_info_at_o2() {
+        let eval = evaluate_program(&program(), Personality::Gcc, OptLevel::O2, 1_000_000);
+        let best = eval
+            .effects
+            .iter()
+            .map(|e| e.relative_increment)
+            .fold(f64::MIN, f64::max);
+        assert!(
+            best > 0.0,
+            "disabling some pass must improve the product metric (best {best})"
+        );
+    }
+
+    #[test]
+    fn higher_levels_score_lower() {
+        let p = program();
+        let e1 = evaluate_program(&p, Personality::Gcc, OptLevel::O1, 1_000_000);
+        let e3 = evaluate_program(&p, Personality::Gcc, OptLevel::O3, 1_000_000);
+        assert!(
+            e3.reference.product <= e1.reference.product + 1e-9,
+            "O3 ({}) must not beat O1 ({})",
+            e3.reference.product,
+            e1.reference.product
+        );
+    }
+
+    #[test]
+    fn evaluate_config_matches_reference_for_empty_gate() {
+        let p = program();
+        let eval = evaluate_program(&p, Personality::Clang, OptLevel::O2, 1_000_000);
+        let m = evaluate_config(
+            &p,
+            Personality::Clang,
+            OptLevel::O2,
+            &PassGate::allow_all(),
+            1_000_000,
+        );
+        assert!((m.product - eval.reference.product).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! DEBUGTUNER: systematic analysis of the impact of individual
+//! compiler optimization passes on debug-information quality, and
+//! construction of debug-friendly optimization levels (the paper's
+//! primary contribution, Section III).
+//!
+//! The framework has the paper's two components:
+//!
+//! * **Debug-information evaluation** ([`eval`]): for a program and an
+//!   optimization level, build the `O0` baseline and the level's
+//!   reference binary plus one variant per gateable pass with that
+//!   pass disabled; discard variants whose `.text` equals the
+//!   reference (the pass changed nothing); extract temp-breakpoint
+//!   debug traces for the rest; compute the hybrid product metric for
+//!   each.
+//! * **Compiler-configuration tuning** ([`rank`], [`config`]):
+//!   aggregate the per-pass relative metric increments across the test
+//!   suite by average rank, and derive `Ox-dy` configurations that
+//!   disable the top *y* passes (with the paper's special treatment of
+//!   the top-level inliner switches). [`pareto`] computes the
+//!   debuggability/performance front of Figure 2.
+//!
+//! ```no_run
+//! use debugtuner::{DebugTuner, TunerConfig};
+//! use dt_passes::{OptLevel, Personality};
+//!
+//! let tuner = DebugTuner::new(TunerConfig::default());
+//! let programs = debugtuner::suite_programs(400);
+//! let ranking = tuner.rank_passes(&programs, Personality::Gcc, OptLevel::O2);
+//! for entry in ranking.entries.iter().take(10) {
+//!     println!("{}  {:+.2}%", entry.pass, entry.geomean_increment * 100.0);
+//! }
+//! ```
+
+pub mod config;
+pub mod eval;
+pub mod pareto;
+pub mod perf;
+pub mod rank;
+
+pub use config::{dy_config, dy_family, DyConfig};
+pub use eval::{evaluate_program, PassEffect, ProgramEvaluation, ProgramInput};
+pub use pareto::{pareto_front, TradeoffPoint};
+pub use perf::{measure_speedup, PerfReport};
+pub use rank::{rank_passes_across, PassRanking, RankEntry};
+
+use dt_passes::{OptLevel, Personality};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Global tuner settings.
+#[derive(Debug, Clone)]
+pub struct TunerConfig {
+    /// Instruction budget per debugger input.
+    pub max_steps_per_input: u64,
+    /// Worker threads for the build/trace matrix.
+    pub threads: usize,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            max_steps_per_input: 3_000_000,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// The DebugTuner framework instance: caches evaluations so that the
+/// experiment binaries can share work across tables.
+pub struct DebugTuner {
+    pub config: TunerConfig,
+    cache: Mutex<HashMap<String, ProgramEvaluation>>,
+}
+
+impl DebugTuner {
+    /// A tuner with the given settings.
+    pub fn new(config: TunerConfig) -> Self {
+        DebugTuner {
+            config,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Evaluates one program at one personality/level (cached).
+    pub fn evaluate(
+        &self,
+        program: &ProgramInput,
+        personality: Personality,
+        level: OptLevel,
+    ) -> ProgramEvaluation {
+        let key = format!("{}|{personality}|{level}", program.name);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return hit.clone();
+        }
+        let eval = evaluate_program(program, personality, level, self.config.max_steps_per_input);
+        self.cache.lock().insert(key, eval.clone());
+        eval
+    }
+
+    /// Evaluates the whole suite in parallel and aggregates the pass
+    /// ranking (Section III-B).
+    pub fn rank_passes(
+        &self,
+        programs: &[ProgramInput],
+        personality: Personality,
+        level: OptLevel,
+    ) -> PassRanking {
+        let evals = self.evaluate_all(programs, personality, level);
+        rank_passes_across(&evals)
+    }
+
+    /// Parallel evaluation of many programs.
+    pub fn evaluate_all(
+        &self,
+        programs: &[ProgramInput],
+        personality: Personality,
+        level: OptLevel,
+    ) -> Vec<ProgramEvaluation> {
+        let threads = self.config.threads.max(1);
+        let results: Mutex<Vec<Option<ProgramEvaluation>>> =
+            Mutex::new(vec![None; programs.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(programs.len().max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= programs.len() {
+                        break;
+                    }
+                    let eval = self.evaluate(&programs[i], personality, level);
+                    results.lock()[i] = Some(eval);
+                });
+            }
+        })
+        .expect("worker panicked");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("all evaluated"))
+            .collect()
+    }
+}
+
+impl Default for DebugTuner {
+    fn default() -> Self {
+        Self::new(TunerConfig::default())
+    }
+}
+
+/// The 13-program suite as tuner inputs, with fuzzing-derived,
+/// minimized input sets (Section IV's pipeline). `fuzz_iterations`
+/// bounds the campaign per harness.
+pub fn suite_programs(fuzz_iterations: u32) -> Vec<ProgramInput> {
+    dt_testsuite::real_world_suite()
+        .into_iter()
+        .map(|p| ProgramInput::from_suite(&p, fuzz_iterations))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_program() -> ProgramInput {
+        ProgramInput {
+            name: "tiny".into(),
+            source: "\
+int helper(int v) {
+    int w = v * 3;
+    return w + 1;
+}
+int fuzz_main() {
+    int a = in(0);
+    int b = 0;
+    if (a > 10) {
+        b = helper(a);
+    } else {
+        b = a - 1;
+    }
+    out(b);
+    return b;
+}"
+            .into(),
+            harness: "fuzz_main".into(),
+            inputs: vec![vec![50], vec![1]],
+            entry_args: vec![],
+        }
+    }
+
+    #[test]
+    fn evaluation_is_cached() {
+        let tuner = DebugTuner::default();
+        let p = tiny_program();
+        let a = tuner.evaluate(&p, Personality::Gcc, OptLevel::O1);
+        let b = tuner.evaluate(&p, Personality::Gcc, OptLevel::O1);
+        assert_eq!(a.reference.product, b.reference.product);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let tuner = DebugTuner::new(TunerConfig {
+            threads: 4,
+            ..Default::default()
+        });
+        let programs = vec![tiny_program(), {
+            let mut p = tiny_program();
+            p.name = "tiny2".into();
+            p
+        }];
+        let evals = tuner.evaluate_all(&programs, Personality::Clang, OptLevel::O2);
+        assert_eq!(evals.len(), 2);
+        assert_eq!(evals[0].reference.product, evals[1].reference.product);
+    }
+}

@@ -1,0 +1,97 @@
+//! Performance measurement of configurations on the SPEC-like suite.
+
+use dt_passes::{compile_source, CompileOptions, OptLevel, PassGate, Personality};
+use dt_testsuite::spec::{spec_suite, Benchmark, Workload};
+use dt_vm::{Vm, VmConfig};
+use serde::{Deserialize, Serialize};
+
+/// Per-benchmark and aggregate speedups of one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// (benchmark name, speedup over O0).
+    pub per_benchmark: Vec<(String, f64)>,
+    /// Geometric-mean speedup over O0.
+    pub speedup: f64,
+}
+
+fn run_cycles(obj: &dt_machine::Object, b: &Benchmark, workload: Workload) -> u64 {
+    let cfg = VmConfig {
+        max_steps: 2_000_000_000,
+        ..VmConfig::default()
+    };
+    let iters = b.iterations(workload);
+    let r = Vm::run_to_completion(obj, b.entry, &[iters], &[], cfg)
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    assert_eq!(r.halt, dt_vm::Halt::Finished, "{} did not finish", b.name);
+    r.cycles
+}
+
+/// Measures the speedup over `O0` of a (level, gate) configuration on
+/// the full benchmark suite.
+pub fn measure_speedup(
+    personality: Personality,
+    level: OptLevel,
+    gate: &PassGate,
+    workload: Workload,
+) -> PerfReport {
+    let mut per_benchmark = Vec::new();
+    let mut log_sum = 0.0;
+    for b in spec_suite() {
+        let o0 = compile_source(b.source, &CompileOptions::new(personality, OptLevel::O0))
+            .expect("O0 build");
+        let mut opts = CompileOptions::new(personality, level);
+        opts.gate = gate.clone();
+        let obj = compile_source(b.source, &opts).expect("config build");
+        let base = run_cycles(&o0, &b, workload) as f64;
+        let cycles = run_cycles(&obj, &b, workload) as f64;
+        let speedup = base / cycles.max(1.0);
+        log_sum += speedup.ln();
+        per_benchmark.push((b.name.to_string(), speedup));
+    }
+    PerfReport {
+        speedup: (log_sum / per_benchmark.len() as f64).exp(),
+        per_benchmark,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn o2_beats_o0_on_every_benchmark() {
+        let report = measure_speedup(
+            Personality::Gcc,
+            OptLevel::O2,
+            &PassGate::allow_all(),
+            Workload::Test,
+        );
+        assert_eq!(report.per_benchmark.len(), 8);
+        for (name, speedup) in &report.per_benchmark {
+            assert!(*speedup > 1.0, "{name}: speedup {speedup}");
+        }
+        assert!(report.speedup > 1.3, "aggregate {}", report.speedup);
+    }
+
+    #[test]
+    fn disabling_passes_costs_performance() {
+        let full = measure_speedup(
+            Personality::Clang,
+            OptLevel::O2,
+            &PassGate::allow_all(),
+            Workload::Test,
+        );
+        let gutted = measure_speedup(
+            Personality::Clang,
+            OptLevel::O2,
+            &PassGate::disabling(["SROA", "Inliner", "LICM", "GVN", "EarlyCSE"]),
+            Workload::Test,
+        );
+        assert!(
+            gutted.speedup < full.speedup,
+            "gutted {} vs full {}",
+            gutted.speedup,
+            full.speedup
+        );
+    }
+}

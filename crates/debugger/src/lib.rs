@@ -1,0 +1,268 @@
+//! The debugger simulator: temporary-breakpoint trace extraction.
+//!
+//! Implements the paper's trace-extraction procedure (Section III-A):
+//! plant a *temporary* breakpoint on every line in the binary's
+//! line-number table, run the program on every input of the test set
+//! in one session, and at each hit record the line plus the variables
+//! that are **visible with a value** — i.e. whose location list covers
+//! the PC *and* whose location can actually be read from live machine
+//! state. Temporary breakpoints make the session cheap: each line is
+//! stepped at most once across all inputs.
+//!
+//! Traces serialize to JSON (like the paper's artifacts) via serde.
+
+use dt_machine::Object;
+use dt_vm::{Vm, VmConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// What the debugger observed at one stepped line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineObservation {
+    /// The function whose code hit the breakpoint.
+    pub func: String,
+    /// Variables of that function visible with a value at the stop.
+    pub vars: BTreeSet<String>,
+}
+
+/// A debug trace: one observation per stepped source line.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DebugTrace {
+    /// Stepped line → observation (first hit wins, as with temporary
+    /// breakpoints).
+    pub lines: BTreeMap<u32, LineObservation>,
+    /// Total breakpoint hits (= distinct stepped lines).
+    pub hits: u64,
+    /// Number of inputs executed to produce the trace.
+    pub inputs_run: usize,
+}
+
+impl DebugTrace {
+    /// The set of stepped lines.
+    pub fn stepped_lines(&self) -> BTreeSet<u32> {
+        self.lines.keys().copied().collect()
+    }
+
+    /// The variables observed at `line`, if it was stepped.
+    pub fn vars_at(&self, line: u32) -> Option<&BTreeSet<String>> {
+        self.lines.get(&line).map(|o| &o.vars)
+    }
+
+    /// Serializes the trace to JSON (the paper's exchange format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serializes")
+    }
+
+    /// Parses a trace from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Debug-session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Step budget per input (keeps hangs from stalling the analysis).
+    pub max_steps_per_input: u64,
+    /// Call arguments passed to the harness entry point.
+    pub entry_args: Vec<i64>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_steps_per_input: 5_000_000,
+            entry_args: Vec::new(),
+        }
+    }
+}
+
+/// Runs a temporary-breakpoint debug session over all `inputs` and
+/// returns the merged trace.
+pub fn trace(
+    obj: &Object,
+    entry: &str,
+    inputs: &[Vec<u8>],
+    config: &SessionConfig,
+) -> Result<DebugTrace, String> {
+    // Breakpoints: every is_stmt address of every line (gdb plants one
+    // physical breakpoint per matching location — inlined copies,
+    // unrolled iterations, ...). The whole set for a line is removed on
+    // its first hit (temporary breakpoints).
+    let mut bp_by_addr: HashMap<u32, u32> = HashMap::new();
+    let mut addrs_of_line: HashMap<u32, Vec<u32>> = HashMap::new();
+    for row in obj.debug.line_table.rows() {
+        if row.line != 0 && row.is_stmt {
+            bp_by_addr.insert(row.addr, row.line);
+            addrs_of_line.entry(row.line).or_default().push(row.addr);
+        }
+    }
+
+    let mut trace = DebugTrace::default();
+    let empty: Vec<Vec<u8>> = vec![Vec::new()];
+    let inputs: &[Vec<u8>] = if inputs.is_empty() { &empty } else { inputs };
+
+    for input in inputs {
+        if bp_by_addr.is_empty() {
+            break; // all temporary breakpoints already consumed
+        }
+        let vm_config = VmConfig {
+            max_steps: config.max_steps_per_input,
+            ..VmConfig::default()
+        };
+        let mut vm = Vm::new(obj, entry, &config.entry_args, input, vm_config)?;
+        while vm.halt_reason().is_none() {
+            let addr = vm.pc_addr();
+            // Zero-size debug pseudos share the address of the next
+            // real instruction; only stop on the real one.
+            let at_pseudo = matches!(
+                obj.code.get(vm.pc_index()).map(|i| &i.op),
+                Some(dt_machine::FOp::Dbg { .. })
+            );
+            if !at_pseudo {
+                if let Some(line) = bp_by_addr.get(&addr).copied() {
+                    let obs = observe(obj, &vm, addr);
+                    trace.hits += 1;
+                    trace.lines.entry(line).or_insert(obs);
+                    // Temporary: clear every location of this line.
+                    for a in addrs_of_line.remove(&line).unwrap_or_default() {
+                        bp_by_addr.remove(&a);
+                    }
+                }
+            }
+            vm.step();
+        }
+        trace.inputs_run += 1;
+    }
+    Ok(trace)
+}
+
+/// Collects the variables visible with a value at the stop address.
+fn observe(obj: &Object, vm: &Vm<'_>, pc: u32) -> LineObservation {
+    let Some((sp_idx, sp)) = obj.debug.subprogram_at(pc) else {
+        return LineObservation {
+            func: String::new(),
+            vars: BTreeSet::new(),
+        };
+    };
+    let mut vars = BTreeSet::new();
+    for var in obj.debug.vars_of(sp_idx) {
+        if let Some(loc) = var.loclist.at(pc) {
+            if vm.read_location(loc).is_some() {
+                vars.insert(var.name.clone());
+            }
+        }
+    }
+    LineObservation {
+        func: sp.name.clone(),
+        vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_machine::{run_backend, BackendConfig};
+
+    fn object(src: &str) -> Object {
+        let m = dt_frontend::lower_source(src).unwrap();
+        run_backend(&m, &BackendConfig::default())
+    }
+
+    const PROGRAM: &str = "\
+int helper(int v) {
+    int w = v * 2;
+    return w + 1;
+}
+int main() {
+    int x = in(0);
+    int y = 0;
+    if (x > 10) {
+        y = helper(x);
+    } else {
+        y = x - 1;
+    }
+    out(y);
+    return y;
+}";
+
+    #[test]
+    fn o0_trace_steps_executed_lines_with_all_vars() {
+        let obj = object(PROGRAM);
+        let t = trace(&obj, "main", &[vec![50]], &SessionConfig::default()).unwrap();
+        // The then-branch ran: lines 6,7,8,9 and helper's 2,3 stepped.
+        for line in [2u32, 3, 6, 7, 8, 9, 13] {
+            assert!(t.lines.contains_key(&line), "line {line} missing: {t:?}");
+        }
+        // The else branch did not run.
+        assert!(!t.lines.contains_key(&11));
+        // At O0, x is visible on its successor lines.
+        assert!(t.vars_at(8).unwrap().contains("x"));
+        assert!(t.vars_at(13).unwrap().contains("y"));
+        assert!(t.vars_at(3).unwrap().contains("w"));
+    }
+
+    #[test]
+    fn multiple_inputs_accumulate_coverage() {
+        let obj = object(PROGRAM);
+        let one = trace(&obj, "main", &[vec![50]], &SessionConfig::default()).unwrap();
+        let both = trace(
+            &obj,
+            "main",
+            &[vec![50], vec![1]],
+            &SessionConfig::default(),
+        )
+        .unwrap();
+        assert!(both.stepped_lines().is_superset(&one.stepped_lines()));
+        assert!(both.lines.contains_key(&11), "else branch from input 2");
+        assert_eq!(both.inputs_run, 2);
+    }
+
+    #[test]
+    fn temporary_breakpoints_hit_once() {
+        let obj = object(PROGRAM);
+        let t = trace(
+            &obj,
+            "main",
+            &[vec![50], vec![60], vec![70]],
+            &SessionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(t.hits as usize, t.lines.len());
+    }
+
+    #[test]
+    fn observations_name_the_containing_function() {
+        let obj = object(PROGRAM);
+        let t = trace(&obj, "main", &[vec![50]], &SessionConfig::default()).unwrap();
+        assert_eq!(t.lines[&2].func, "helper");
+        assert_eq!(t.lines[&6].func, "main");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let obj = object(PROGRAM);
+        let t = trace(&obj, "main", &[vec![50]], &SessionConfig::default()).unwrap();
+        let t2 = DebugTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn empty_input_set_runs_once_with_empty_input() {
+        let obj = object("int main() { int z = in_len(); out(z); return z; }");
+        let t = trace(&obj, "main", &[], &SessionConfig::default()).unwrap();
+        assert_eq!(t.inputs_run, 1);
+        assert!(!t.lines.is_empty());
+    }
+
+    #[test]
+    fn hung_programs_are_bounded() {
+        let obj = object("int main() { while (1) { } return 0; }");
+        let cfg = SessionConfig {
+            max_steps_per_input: 10_000,
+            ..Default::default()
+        };
+        let t = trace(&obj, "main", &[vec![]], &cfg).unwrap();
+        assert_eq!(t.inputs_run, 1);
+    }
+}

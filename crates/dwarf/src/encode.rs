@@ -1,0 +1,192 @@
+//! LEB128 primitives and the shared decode error type.
+
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+/// A failure while decoding a debug section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "debug-section decode error at offset {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Writes `value` as ULEB128.
+pub fn write_u32_leb(buf: &mut impl BufMut, mut value: u32) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a ULEB128 `u32`.
+pub fn read_u32_leb(buf: &mut impl Buf, offset: &mut usize) -> Result<u32, DecodeError> {
+    let mut value: u32 = 0;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError {
+                offset: *offset,
+                message: "truncated ULEB128".into(),
+            });
+        }
+        let byte = buf.get_u8();
+        *offset += 1;
+        if shift >= 32 {
+            return Err(DecodeError {
+                offset: *offset,
+                message: "ULEB128 overflows u32".into(),
+            });
+        }
+        value |= ((byte & 0x7f) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Writes `value` as SLEB128.
+pub fn write_i64_leb(buf: &mut impl BufMut, mut value: i64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (value == 0 && sign_clear) || (value == -1 && !sign_clear) {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an SLEB128 `i64`.
+pub fn read_i64_leb(buf: &mut impl Buf, offset: &mut usize) -> Result<i64, DecodeError> {
+    let mut value: i64 = 0;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError {
+                offset: *offset,
+                message: "truncated SLEB128".into(),
+            });
+        }
+        let byte = buf.get_u8();
+        *offset += 1;
+        if shift >= 64 {
+            return Err(DecodeError {
+                offset: *offset,
+                message: "SLEB128 overflows i64".into(),
+            });
+        }
+        value |= ((byte & 0x7f) as i64) << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 64 && byte & 0x40 != 0 {
+                value |= -1i64 << shift; // sign extend
+            }
+            return Ok(value);
+        }
+    }
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn write_str(buf: &mut impl BufMut, s: &str) {
+    write_u32_leb(buf, s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn read_str(buf: &mut impl Buf, offset: &mut usize) -> Result<String, DecodeError> {
+    let len = read_u32_leb(buf, offset)? as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError {
+            offset: *offset,
+            message: "truncated string".into(),
+        });
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    *offset += len;
+    String::from_utf8(bytes).map_err(|_| DecodeError {
+        offset: *offset,
+        message: "invalid UTF-8 in string".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip_u32(v: u32) -> u32 {
+        let mut b = BytesMut::new();
+        write_u32_leb(&mut b, v);
+        let mut off = 0;
+        read_u32_leb(&mut b.freeze(), &mut off).unwrap()
+    }
+
+    fn roundtrip_i64(v: i64) -> i64 {
+        let mut b = BytesMut::new();
+        write_i64_leb(&mut b, v);
+        let mut off = 0;
+        read_i64_leb(&mut b.freeze(), &mut off).unwrap()
+    }
+
+    #[test]
+    fn uleb_roundtrips() {
+        for v in [0u32, 1, 127, 128, 300, 16383, 16384, u32::MAX] {
+            assert_eq!(roundtrip_u32(v), v);
+        }
+    }
+
+    #[test]
+    fn sleb_roundtrips() {
+        for v in [0i64, 1, -1, 63, 64, -64, -65, 1 << 40, i64::MAX, i64::MIN] {
+            assert_eq!(roundtrip_i64(v), v);
+        }
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        let mut b = BytesMut::new();
+        write_str(&mut b, "déjà vu");
+        let mut off = 0;
+        assert_eq!(read_str(&mut b.freeze(), &mut off).unwrap(), "déjà vu");
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = bytes::Bytes::from(vec![0x80u8]); // continuation with no next byte
+        let mut off = 0;
+        assert!(read_u32_leb(&mut buf, &mut off).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn uleb_roundtrip_prop(v: u32) {
+            proptest::prop_assert_eq!(roundtrip_u32(v), v);
+        }
+
+        #[test]
+        fn sleb_roundtrip_prop(v: i64) {
+            proptest::prop_assert_eq!(roundtrip_i64(v), v);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! A DWARF-like debug-information model.
+//!
+//! This crate models the three pieces of DWARF that matter for the
+//! paper's measurements, with the same semantics but a simpler
+//! encoding:
+//!
+//! * the **line-number table** ([`LineTable`], cf. `.debug_line`):
+//!   monotone rows mapping code addresses to source lines, with an
+//!   `is_stmt` flag marking recommended breakpoint locations;
+//! * **location lists** ([`LocList`], cf. `.debug_loc`): per-variable
+//!   address ranges stating where the variable's value lives (register,
+//!   frame slot, global, or a known constant);
+//! * **variable and subprogram records** ([`VarRecord`],
+//!   [`SubprogramRecord`], cf. `DW_TAG_variable` / `DW_TAG_subprogram`
+//!   DIEs).
+//!
+//! Everything round-trips through a compact binary encoding
+//! (ULEB128-based, like real DWARF) so that "the debug sections of the
+//! object file" is a meaningful, byte-comparable artifact.
+
+pub mod encode;
+pub mod info;
+pub mod line;
+pub mod loc;
+
+pub use encode::{read_i64_leb, read_u32_leb, write_i64_leb, write_u32_leb, DecodeError};
+pub use info::{DebugInfo, SubprogramRecord, VarRecord};
+pub use line::{LineRow, LineTable};
+pub use loc::{LocList, LocRange, Location};

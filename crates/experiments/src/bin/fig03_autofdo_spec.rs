@@ -1,0 +1,7 @@
+//! Figure 3: AutoFDO relative performance on the benchmark suite.
+fn main() {
+    let tuner = experiments::make_tuner();
+    let programs = experiments::suite_inputs();
+    let (_, fig3) = experiments::autofdo_spec(&tuner, &programs);
+    experiments::emit("fig03_autofdo_spec", &fig3);
+}

@@ -1,0 +1,4 @@
+//! Table I: measurement-method comparison on synthetic programs.
+fn main() {
+    experiments::emit("table01_methods", &experiments::table01_methods());
+}

@@ -1,0 +1,4 @@
+//! Table II: debug information quality on libpng.
+fn main() {
+    experiments::emit("table02_libpng", &experiments::table02_libpng());
+}

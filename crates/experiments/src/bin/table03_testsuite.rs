@@ -1,0 +1,4 @@
+//! Table III: test-suite corpus and coverage statistics.
+fn main() {
+    experiments::emit("table03_testsuite", &experiments::table03_testsuite());
+}

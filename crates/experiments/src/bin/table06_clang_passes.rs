@@ -1,0 +1,7 @@
+//! Table VI: top 10 critical passes in clang.
+fn main() {
+    let tuner = experiments::make_tuner();
+    let programs = experiments::suite_inputs();
+    let (out, _) = experiments::table_top_passes(&tuner, &programs, dt_passes::Personality::Clang);
+    experiments::emit("table06_clang_passes", &out);
+}

@@ -1,0 +1,8 @@
+//! Table VIII: Ox-dy debuggability/speedup deltas.
+fn main() {
+    let tuner = experiments::make_tuner();
+    let programs = experiments::suite_inputs();
+    let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
+    let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
+    experiments::emit("table08_tradeoff", &experiments::table08_tradeoff(&gcc, &clang));
+}

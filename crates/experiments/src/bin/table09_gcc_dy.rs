@@ -1,0 +1,7 @@
+//! Table IX: per-program quality for gcc Ox-dy configurations.
+fn main() {
+    let tuner = experiments::make_tuner();
+    let programs = experiments::suite_inputs();
+    let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
+    experiments::emit("table09_gcc_dy", &experiments::table_per_program_dy(&gcc));
+}

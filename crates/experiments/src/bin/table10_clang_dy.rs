@@ -1,0 +1,7 @@
+//! Table X: per-program quality for clang Ox-dy configurations.
+fn main() {
+    let tuner = experiments::make_tuner();
+    let programs = experiments::suite_inputs();
+    let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
+    experiments::emit("table10_clang_dy", &experiments::table_per_program_dy(&clang));
+}

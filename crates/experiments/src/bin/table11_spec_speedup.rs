@@ -1,0 +1,8 @@
+//! Table XI: speedup over O0 per benchmark, all configurations.
+fn main() {
+    let tuner = experiments::make_tuner();
+    let programs = experiments::suite_inputs();
+    let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
+    let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
+    experiments::emit("table11_spec_speedup", &experiments::table_spec_speedups(&gcc, &clang, false));
+}

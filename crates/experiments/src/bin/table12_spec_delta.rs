@@ -1,0 +1,8 @@
+//! Table XII: Ox-dy % speedup change vs reference level.
+fn main() {
+    let tuner = experiments::make_tuner();
+    let programs = experiments::suite_inputs();
+    let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
+    let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
+    experiments::emit("table12_spec_delta", &experiments::table_spec_speedups(&gcc, &clang, true));
+}

@@ -1,0 +1,7 @@
+//! Table XV: AutoFDO speedups with Ox-dy profiling configurations.
+fn main() {
+    let tuner = experiments::make_tuner();
+    let programs = experiments::suite_inputs();
+    let (t15, _) = experiments::autofdo_spec(&tuner, &programs);
+    experiments::emit("table15_autofdo", &t15);
+}

@@ -1,0 +1,771 @@
+//! The lowering proper: statement and expression translation.
+
+use dt_ir::{
+    BinOp, DbgLoc, FuncId, FunctionBuilder, GlobalId, GlobalInfo, Inst, Module, Op, SlotId, UnOp, Value, VarId, VarInfo,
+};
+use dt_minic::ast::{self, Expr, ExprKind, Program, Stmt, StmtKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error produced during lowering. The validator catches everything
+/// user-facing, so these indicate internal inconsistencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lowers a validated MiniC program to an IR module.
+pub fn lower_program(program: &Program) -> Result<Module, LowerError> {
+    let mut module = Module::new();
+    let mut globals: HashMap<&str, GlobalId> = HashMap::new();
+    for g in program.globals() {
+        let id = module.add_global(GlobalInfo {
+            name: g.name.clone(),
+            size: g.array_len.unwrap_or(1),
+            init: g.init,
+            line: g.line,
+        });
+        globals.insert(&g.name, id);
+    }
+
+    // Assign function ids in source order so call lowering can resolve
+    // forward references.
+    let funcs: Vec<&ast::Function> = program.functions().collect();
+    let func_ids: HashMap<&str, FuncId> = funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), FuncId(i as u32)))
+        .collect();
+
+    for f in &funcs {
+        let lowered = FuncLowerer::new(f, &globals, &func_ids).lower()?;
+        module.add_function(lowered);
+    }
+    Ok(module)
+}
+
+/// Where a named variable lives during lowering.
+#[derive(Clone, Copy)]
+enum Place {
+    /// Scalar local/param: its stack-slot home.
+    Scalar(SlotId),
+    /// Local array.
+    Array(SlotId),
+    /// Global scalar.
+    GlobalScalar(GlobalId),
+    /// Global array.
+    GlobalArray(GlobalId),
+}
+
+struct FuncLowerer<'a> {
+    ast: &'a ast::Function,
+    globals: &'a HashMap<&'a str, GlobalId>,
+    global_sizes: HashMap<GlobalId, bool>, // id -> is_array (size>1 not tracked here)
+    func_ids: &'a HashMap<&'a str, FuncId>,
+    b: FunctionBuilder,
+    /// Lexically scoped name → place map (inner scopes pushed/popped).
+    scopes: Vec<HashMap<String, Place>>,
+    /// (continue target, break target) for the innermost loop.
+    loop_stack: Vec<(dt_ir::BlockId, dt_ir::BlockId)>,
+}
+
+impl<'a> FuncLowerer<'a> {
+    fn new(
+        ast: &'a ast::Function,
+        globals: &'a HashMap<&'a str, GlobalId>,
+        func_ids: &'a HashMap<&'a str, FuncId>,
+    ) -> Self {
+        FuncLowerer {
+            ast,
+            globals,
+            global_sizes: HashMap::new(),
+            func_ids,
+            b: FunctionBuilder::new(&ast.name, ast.params.len(), ast.line),
+            scopes: vec![HashMap::new()],
+            loop_stack: Vec::new(),
+        }
+    }
+
+    fn lower(mut self) -> Result<dt_ir::Function, LowerError> {
+        // Parameters: spill each incoming register to a slot home and
+        // describe the variable as living there.
+        for (i, p) in self.ast.params.iter().enumerate() {
+            let var = self.b.var(VarInfo {
+                name: p.name.clone(),
+                is_param: true,
+                is_array: false,
+                decl_line: p.line,
+            });
+            let slot = self.b.slot(1, Some(var));
+            let preg = dt_ir::VReg(i as u32);
+            self.b.push(Inst::new(
+                Op::StoreSlot {
+                    slot,
+                    src: Value::Reg(preg),
+                },
+                self.ast.line,
+            ));
+            self.b.dbg_value(var, DbgLoc::Slot(slot), self.ast.line);
+            self.scopes
+                .last_mut()
+                .unwrap()
+                .insert(p.name.clone(), Place::Scalar(slot));
+        }
+
+        self.lower_block(&self.ast.body)?;
+        if !self.b.is_terminated() {
+            // Implicit `return 0;` at the closing brace.
+            self.b.ret(Some(Value::Const(0)), self.ast.end_line);
+        }
+        Ok(self.b.finish(self.ast.end_line))
+    }
+
+    fn lookup(&self, name: &str) -> Option<Place> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(p) = scope.get(name) {
+                return Some(*p);
+            }
+        }
+        self.globals.get(name).map(|&g| {
+            // The validator guarantees consistent use, so classify on
+            // demand; array-ness comes from how the site uses it.
+            if self.global_sizes.get(&g).copied().unwrap_or(false) {
+                Place::GlobalArray(g)
+            } else {
+                Place::GlobalScalar(g)
+            }
+        })
+    }
+
+    fn lower_block(&mut self, stmts: &[Stmt]) -> Result<(), LowerError> {
+        self.scopes.push(HashMap::new());
+        for stmt in stmts {
+            self.lower_stmt(stmt)?;
+            if self.b.is_terminated() {
+                break; // statements after return/break/continue are dead
+            }
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn declare_scalar(&mut self, name: &str, line: u32) -> (SlotId, VarId) {
+        let var = self.b.var(VarInfo {
+            name: name.to_owned(),
+            is_param: false,
+            is_array: false,
+            decl_line: line,
+        });
+        let slot = self.b.slot(1, Some(var));
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_owned(), Place::Scalar(slot));
+        self.b.dbg_value(var, DbgLoc::Slot(slot), line);
+        (slot, var)
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), LowerError> {
+        let line = stmt.line;
+        match &stmt.kind {
+            StmtKind::Decl { name, init } => {
+                let init_val = init.as_ref().map(|e| self.lower_expr(e)).transpose()?;
+                let (slot, _var) = self.declare_scalar(name, line);
+                if let Some(v) = init_val {
+                    self.b.push(Inst::new(Op::StoreSlot { slot, src: v }, line));
+                }
+            }
+            StmtKind::ArrayDecl { name, len } => {
+                let var = self.b.var(VarInfo {
+                    name: name.clone(),
+                    is_param: false,
+                    is_array: true,
+                    decl_line: line,
+                });
+                let slot = self.b.slot(*len, Some(var));
+                // Zero-initialize: a small loop would obscure line
+                // info; emit per-element stores for small arrays and a
+                // runtime loop for large ones.
+                if *len <= 8 {
+                    for i in 0..*len {
+                        self.b.push(Inst::new(
+                            Op::StoreIdx {
+                                slot,
+                                index: Value::Const(i as i64),
+                                src: Value::Const(0),
+                            },
+                            line,
+                        ));
+                    }
+                } else {
+                    self.emit_zero_loop(slot, *len, line);
+                }
+                self.scopes
+                    .last_mut()
+                    .unwrap()
+                    .insert(name.clone(), Place::Array(slot));
+                self.b.dbg_value(var, DbgLoc::Slot(slot), line);
+            }
+            StmtKind::Assign { name, value } => {
+                let v = self.lower_expr(value)?;
+                match self.lookup(name) {
+                    Some(Place::Scalar(slot)) => {
+                        self.b.push(Inst::new(Op::StoreSlot { slot, src: v }, line));
+                    }
+                    Some(Place::GlobalScalar(g)) => {
+                        self.b
+                            .push(Inst::new(Op::StoreGlobal { global: g, src: v }, line));
+                    }
+                    _ => return Err(self.ice(line, "assignment target not a scalar")),
+                }
+            }
+            StmtKind::Store { name, index, value } => {
+                let idx = self.lower_expr(index)?;
+                let v = self.lower_expr(value)?;
+                match self.lookup(name) {
+                    Some(Place::Array(slot)) => {
+                        self.b
+                            .push(Inst::new(Op::StoreIdx { slot, index: idx, src: v }, line));
+                    }
+                    Some(Place::GlobalArray(g)) | Some(Place::GlobalScalar(g)) => {
+                        self.global_sizes.insert(g, true);
+                        self.b.push(Inst::new(
+                            Op::StoreGIdx {
+                                global: g,
+                                index: idx,
+                                src: v,
+                            },
+                            line,
+                        ));
+                    }
+                    _ => return Err(self.ice(line, "store target not an array")),
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.lower_expr(cond)?;
+                let then_bb = self.b.create_block();
+                let join = self.b.create_block();
+                let else_bb = if else_branch.is_empty() {
+                    join
+                } else {
+                    self.b.create_block()
+                };
+                self.b.branch(c, then_bb, else_bb, line);
+                self.b.switch_to(then_bb);
+                self.lower_block(then_branch)?;
+                if !self.b.is_terminated() {
+                    self.b.jump(join, 0);
+                }
+                if !else_branch.is_empty() {
+                    self.b.switch_to(else_bb);
+                    self.lower_block(else_branch)?;
+                    if !self.b.is_terminated() {
+                        self.b.jump(join, 0);
+                    }
+                }
+                self.b.switch_to(join);
+            }
+            StmtKind::While { cond, body } => {
+                let header = self.b.create_block();
+                let body_bb = self.b.create_block();
+                let exit = self.b.create_block();
+                self.b.jump(header, line);
+                self.b.switch_to(header);
+                let c = self.lower_expr(cond)?;
+                self.b.branch(c, body_bb, exit, cond.line);
+                self.b.switch_to(body_bb);
+                self.loop_stack.push((header, exit));
+                self.lower_block(body)?;
+                self.loop_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.jump(header, 0);
+                }
+                self.b.switch_to(exit);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                let body_bb = self.b.create_block();
+                let latch = self.b.create_block();
+                let exit = self.b.create_block();
+                self.b.jump(body_bb, line);
+                self.b.switch_to(body_bb);
+                self.loop_stack.push((latch, exit));
+                self.lower_block(body)?;
+                self.loop_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.jump(latch, 0);
+                }
+                self.b.switch_to(latch);
+                let c = self.lower_expr(cond)?;
+                self.b.branch(c, body_bb, exit, cond.line);
+                self.b.switch_to(exit);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new()); // for-header scope
+                if let Some(s) = init {
+                    self.lower_stmt(s)?;
+                }
+                let header = self.b.create_block();
+                let body_bb = self.b.create_block();
+                let step_bb = self.b.create_block();
+                let exit = self.b.create_block();
+                self.b.jump(header, line);
+                self.b.switch_to(header);
+                match cond {
+                    Some(c) => {
+                        let cv = self.lower_expr(c)?;
+                        self.b.branch(cv, body_bb, exit, c.line);
+                    }
+                    None => self.b.jump(body_bb, line),
+                }
+                self.b.switch_to(body_bb);
+                self.loop_stack.push((step_bb, exit));
+                self.lower_block(body)?;
+                self.loop_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.jump(step_bb, 0);
+                }
+                self.b.switch_to(step_bb);
+                if let Some(s) = step {
+                    self.lower_stmt(s)?;
+                }
+                if !self.b.is_terminated() {
+                    self.b.jump(header, 0);
+                }
+                self.b.switch_to(exit);
+                self.scopes.pop();
+            }
+            StmtKind::Return(value) => {
+                let v = match value {
+                    Some(e) => Some(self.lower_expr(e)?),
+                    None => Some(Value::Const(0)),
+                };
+                self.b.ret(v, line);
+            }
+            StmtKind::Break => {
+                let (_, exit) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| self.ice(line, "break outside loop"))?;
+                self.b.jump(exit, line);
+            }
+            StmtKind::Continue => {
+                let (cont, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| self.ice(line, "continue outside loop"))?;
+                self.b.jump(cont, line);
+            }
+            StmtKind::ExprStmt(e) => {
+                self.lower_expr(e)?;
+            }
+            StmtKind::Block(body) => self.lower_block(body)?,
+        }
+        Ok(())
+    }
+
+    /// Emits `for (i = 0; i < len; i++) slot[i] = 0` for array zeroing.
+    fn emit_zero_loop(&mut self, slot: SlotId, len: u32, line: u32) {
+        let idx = self.b.vreg();
+        self.b.push(Inst::new(
+            Op::Copy {
+                dst: idx,
+                src: Value::Const(0),
+            },
+            line,
+        ));
+        let header = self.b.create_block();
+        let body = self.b.create_block();
+        let exit = self.b.create_block();
+        self.b.jump(header, line);
+        self.b.switch_to(header);
+        let cmp = self
+            .b
+            .bin(BinOp::Lt, Value::Reg(idx), Value::Const(len as i64), line);
+        self.b.branch(Value::Reg(cmp), body, exit, line);
+        self.b.switch_to(body);
+        self.b.push(Inst::new(
+            Op::StoreIdx {
+                slot,
+                index: Value::Reg(idx),
+                src: Value::Const(0),
+            },
+            line,
+        ));
+        let next = self
+            .b
+            .bin(BinOp::Add, Value::Reg(idx), Value::Const(1), line);
+        self.b.push(Inst::new(
+            Op::Copy {
+                dst: idx,
+                src: Value::Reg(next),
+            },
+            line,
+        ));
+        self.b.jump(header, line);
+        self.b.switch_to(exit);
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<Value, LowerError> {
+        let line = e.line;
+        Ok(match &e.kind {
+            ExprKind::Int(v) => Value::Const(*v),
+            ExprKind::Var(name) => match self.lookup(name) {
+                Some(Place::Scalar(slot)) => {
+                    let dst = self.b.vreg();
+                    self.b.push(Inst::new(Op::LoadSlot { dst, slot }, line));
+                    Value::Reg(dst)
+                }
+                Some(Place::GlobalScalar(g)) => {
+                    let dst = self.b.vreg();
+                    self.b
+                        .push(Inst::new(Op::LoadGlobal { dst, global: g }, line));
+                    Value::Reg(dst)
+                }
+                _ => return Err(self.ice(line, "variable read is not a scalar")),
+            },
+            ExprKind::Index { name, index } => {
+                let idx = self.lower_expr(index)?;
+                match self.lookup(name) {
+                    Some(Place::Array(slot)) => {
+                        let dst = self.b.vreg();
+                        self.b
+                            .push(Inst::new(Op::LoadIdx { dst, slot, index: idx }, line));
+                        Value::Reg(dst)
+                    }
+                    Some(Place::GlobalArray(g)) | Some(Place::GlobalScalar(g)) => {
+                        self.global_sizes.insert(g, true);
+                        let dst = self.b.vreg();
+                        self.b.push(Inst::new(
+                            Op::LoadGIdx {
+                                dst,
+                                global: g,
+                                index: idx,
+                            },
+                            line,
+                        ));
+                        Value::Reg(dst)
+                    }
+                    _ => return Err(self.ice(line, "indexed read is not an array")),
+                }
+            }
+            ExprKind::Unary { op, operand } => {
+                let v = self.lower_expr(operand)?;
+                let un = map_unop(*op);
+                Value::Reg(self.b.un(un, v, line))
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let l = self.lower_expr(lhs)?;
+                let r = self.lower_expr(rhs)?;
+                Value::Reg(self.b.bin(map_binop(*op), l, r, line))
+            }
+            ExprKind::LogicalAnd { lhs, rhs } => self.lower_short_circuit(lhs, rhs, true, line)?,
+            ExprKind::LogicalOr { lhs, rhs } => self.lower_short_circuit(lhs, rhs, false, line)?,
+            ExprKind::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                let c = self.lower_expr(cond)?;
+                let result = self.b.vreg();
+                let then_bb = self.b.create_block();
+                let else_bb = self.b.create_block();
+                let join = self.b.create_block();
+                self.b.branch(c, then_bb, else_bb, line);
+                self.b.switch_to(then_bb);
+                let tv = self.lower_expr(then_val)?;
+                self.b
+                    .push(Inst::new(Op::Copy { dst: result, src: tv }, then_val.line));
+                self.b.jump(join, 0);
+                self.b.switch_to(else_bb);
+                let ev = self.lower_expr(else_val)?;
+                self.b
+                    .push(Inst::new(Op::Copy { dst: result, src: ev }, else_val.line));
+                self.b.jump(join, 0);
+                self.b.switch_to(join);
+                Value::Reg(result)
+            }
+            ExprKind::Call { callee, args } => {
+                // Builtins first.
+                match (callee.as_str(), args.len()) {
+                    ("in", 1) => {
+                        let idx = self.lower_expr(&args[0])?;
+                        let dst = self.b.vreg();
+                        self.b.push(Inst::new(Op::In { dst, index: idx }, line));
+                        return Ok(Value::Reg(dst));
+                    }
+                    ("in_len", 0) => {
+                        let dst = self.b.vreg();
+                        self.b.push(Inst::new(Op::InLen { dst }, line));
+                        return Ok(Value::Reg(dst));
+                    }
+                    ("out", 1) => {
+                        let v = self.lower_expr(&args[0])?;
+                        self.b.push(Inst::new(Op::Out { src: v }, line));
+                        return Ok(Value::Const(0));
+                    }
+                    _ => {}
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.lower_expr(a)?);
+                }
+                let id = *self
+                    .func_ids
+                    .get(callee.as_str())
+                    .ok_or_else(|| self.ice(line, "unknown callee"))?;
+                let dst = self.b.vreg();
+                self.b.push(Inst::new(
+                    Op::Call {
+                        dst,
+                        callee: id,
+                        args: vals,
+                    },
+                    line,
+                ));
+                Value::Reg(dst)
+            }
+        })
+    }
+
+    /// Lowers `a && b` / `a || b` with short-circuit control flow.
+    fn lower_short_circuit(
+        &mut self,
+        lhs: &Expr,
+        rhs: &Expr,
+        is_and: bool,
+        line: u32,
+    ) -> Result<Value, LowerError> {
+        let result = self.b.vreg();
+        let l = self.lower_expr(lhs)?;
+        let lbool = self.b.un(UnOp::Not, l, line);
+        let lbool = self.b.un(UnOp::Not, Value::Reg(lbool), line);
+        self.b.push(Inst::new(
+            Op::Copy {
+                dst: result,
+                src: Value::Reg(lbool),
+            },
+            line,
+        ));
+        let rhs_bb = self.b.create_block();
+        let join = self.b.create_block();
+        if is_and {
+            self.b.branch(Value::Reg(lbool), rhs_bb, join, line);
+        } else {
+            self.b.branch(Value::Reg(lbool), join, rhs_bb, line);
+        }
+        self.b.switch_to(rhs_bb);
+        let r = self.lower_expr(rhs)?;
+        let rbool = self.b.un(UnOp::Not, r, rhs.line);
+        let rbool = self.b.un(UnOp::Not, Value::Reg(rbool), rhs.line);
+        self.b.push(Inst::new(
+            Op::Copy {
+                dst: result,
+                src: Value::Reg(rbool),
+            },
+            rhs.line,
+        ));
+        self.b.jump(join, 0);
+        self.b.switch_to(join);
+        Ok(Value::Reg(result))
+    }
+
+    fn ice(&self, line: u32, message: &str) -> LowerError {
+        LowerError {
+            line,
+            message: format!("internal: {message} (in `{}`)", self.ast.name),
+        }
+    }
+}
+
+fn map_binop(op: ast::BinOp) -> BinOp {
+    op // identical enum, re-exported by dt-ir
+}
+
+fn map_unop(op: ast::UnOp) -> UnOp {
+    op
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_ir::{verify_module, Op, Terminator};
+
+    fn lower(src: &str) -> Module {
+        let m = crate::lower_source(src).unwrap();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    fn count_ops(m: &Module, pred: impl Fn(&Op) -> bool) -> usize {
+        m.funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| pred(&i.op))
+            .count()
+    }
+
+    #[test]
+    fn scalar_locals_use_slots() {
+        let m = lower("int f() { int x = 3; x = x + 1; return x; }");
+        assert!(count_ops(&m, |o| matches!(o, Op::StoreSlot { .. })) >= 2);
+        assert!(count_ops(&m, |o| matches!(o, Op::LoadSlot { .. })) >= 2);
+    }
+
+    #[test]
+    fn params_are_spilled_to_homes() {
+        let m = lower("int f(int a, int b) { return a + b; }");
+        let f = &m.funcs[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.slots.len(), 2);
+        assert_eq!(count_ops(&m, |o| matches!(o, Op::DbgValue { .. })), 2);
+    }
+
+    #[test]
+    fn dbg_values_declare_slot_locations() {
+        let m = lower("int f() { int x = 1; return x; }");
+        let has_slot_dbg = m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i.op, Op::DbgValue { loc: DbgLoc::Slot(_), .. }));
+        assert!(has_slot_dbg);
+    }
+
+    #[test]
+    fn if_else_creates_diamond() {
+        let m = lower("int f(int c) { int x = 0; if (c) { x = 1; } else { x = 2; } return x; }");
+        let f = &m.funcs[0];
+        assert!(f.blocks.len() >= 4);
+        // Entry ends in a conditional branch.
+        let has_branch = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Branch { .. }));
+        assert!(has_branch);
+    }
+
+    #[test]
+    fn while_loop_has_backedge() {
+        let m = lower("int f(int n) { int i = 0; while (i < n) { i = i + 1; } return i; }");
+        let f = &m.funcs[0];
+        let dom = dt_ir::DomTree::compute(f);
+        let loops = dt_ir::LoopForest::compute(f, &dom);
+        assert_eq!(loops.loops.len(), 1);
+    }
+
+    #[test]
+    fn for_loop_structure() {
+        let m = lower("int f() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }");
+        let f = &m.funcs[0];
+        let dom = dt_ir::DomTree::compute(f);
+        let loops = dt_ir::LoopForest::compute(f, &dom);
+        assert_eq!(loops.loops.len(), 1);
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let m = lower(
+            "int f() { int i = 0; while (1) { i++; if (i > 5) { break; } if (i == 2) { continue; } out(i); } return i; }",
+        );
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn short_circuit_produces_blocks() {
+        let m = lower("int f(int a, int b) { if (a && b) { return 1; } return 0; }");
+        let f = &m.funcs[0];
+        assert!(f.blocks.len() >= 3, "short circuit needs control flow");
+    }
+
+    #[test]
+    fn calls_resolve_forward_references() {
+        let m = lower("int f() { return g(2); }\nint g(int x) { return x * x; }");
+        let call = m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .find_map(|i| match &i.op {
+                Op::Call { callee, .. } => Some(*callee),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(m.func(call).name, "g");
+    }
+
+    #[test]
+    fn builtins_lower_to_intrinsics() {
+        let m = lower("int f() { out(in(0) + in_len()); return 0; }");
+        assert_eq!(count_ops(&m, |o| matches!(o, Op::In { .. })), 1);
+        assert_eq!(count_ops(&m, |o| matches!(o, Op::InLen { .. })), 1);
+        assert_eq!(count_ops(&m, |o| matches!(o, Op::Out { .. })), 1);
+    }
+
+    #[test]
+    fn globals_lower_to_global_ops() {
+        let m = lower("int g = 7;\nint tab[4];\nint f() { tab[0] = g; g = g + 1; return tab[0]; }");
+        assert_eq!(count_ops(&m, |o| matches!(o, Op::LoadGlobal { .. })), 2);
+        assert_eq!(count_ops(&m, |o| matches!(o, Op::StoreGlobal { .. })), 1);
+        assert_eq!(count_ops(&m, |o| matches!(o, Op::StoreGIdx { .. })), 1);
+        assert_eq!(count_ops(&m, |o| matches!(o, Op::LoadGIdx { .. })), 1);
+    }
+
+    #[test]
+    fn local_arrays_are_zeroed() {
+        let m = lower("int f() { int a[4]; return a[3]; }");
+        assert_eq!(count_ops(&m, |o| matches!(o, Op::StoreIdx { .. })), 4);
+        let m = lower("int f() { int a[100]; return a[3]; }");
+        // Large arrays use a zeroing loop instead of unrolled stores.
+        assert!(count_ops(&m, |o| matches!(o, Op::StoreIdx { .. })) < 100);
+    }
+
+    #[test]
+    fn implicit_return_added() {
+        let m = lower("int f() { out(1); }");
+        let f = &m.funcs[0];
+        let has_ret = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Ret(Some(Value::Const(0)))));
+        assert!(has_ret);
+    }
+
+    #[test]
+    fn ternary_lowering() {
+        let m = lower("int f(int a) { return a > 0 ? a : -a; }");
+        verify_module(&m).unwrap();
+        assert!(m.funcs[0].blocks.len() >= 4);
+    }
+
+    #[test]
+    fn lines_attached_to_instructions() {
+        let m = lower("int f() {\nint x = 1;\nx = x + 2;\nreturn x;\n}");
+        let f = &m.funcs[0];
+        let lines: Vec<u32> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .map(|i| i.line)
+            .collect();
+        assert!(lines.contains(&2));
+        assert!(lines.contains(&3));
+    }
+}

@@ -1,0 +1,267 @@
+//! Backward liveness analysis for virtual registers.
+//!
+//! Debug intrinsic operands do **not** keep a register alive by
+//! default; that is precisely how optimized code loses variable values
+//! (the register dies, the `dbg.value` dangles, the location list gets
+//! a hole). Passes that want debug-aware liveness can opt in.
+
+use crate::cfg::{postorder, successors};
+use crate::module::{BlockId, Function, VReg};
+
+/// A dense bitset over virtual registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    /// An empty set sized for `n` registers.
+    pub fn new(n: u32) -> Self {
+        RegSet {
+            words: vec![0; (n as usize + 63) / 64],
+        }
+    }
+
+    pub fn insert(&mut self, r: VReg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old & (1 << b) == 0
+    }
+
+    pub fn remove(&mut self, r: VReg) {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    pub fn contains(&self, r: VReg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        self.words.get(w).is_some_and(|x| x & (1 << b) != 0)
+    }
+
+    /// Unions `other` into `self`, returning whether anything changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Iterates over the registers in the set.
+    pub fn iter(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| VReg((wi * 64 + b) as u32))
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// Per-block live-in/live-out register sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    pub live_in: Vec<RegSet>,
+    pub live_out: Vec<RegSet>,
+    /// Whether debug intrinsic operands were treated as uses.
+    pub debug_aware: bool,
+}
+
+impl Liveness {
+    /// Computes liveness ignoring debug intrinsic uses (codegen view).
+    pub fn compute(f: &Function) -> Self {
+        Self::compute_inner(f, false)
+    }
+
+    /// Computes liveness counting debug intrinsic operands as uses
+    /// (the view a debug-info-preserving allocator would take).
+    pub fn compute_debug_aware(f: &Function) -> Self {
+        Self::compute_inner(f, true)
+    }
+
+    fn compute_inner(f: &Function, debug_aware: bool) -> Self {
+        let n = f.blocks.len();
+        let succs = successors(f);
+        // use[b]: used before any def in b; def[b]: defined in b.
+        let mut use_sets = vec![RegSet::new(f.vreg_count); n];
+        let mut def_sets = vec![RegSet::new(f.vreg_count); n];
+        for b in f.block_ids() {
+            let blk = f.block(b);
+            let (use_b, def_b) = (&mut use_sets[b.index()], &mut def_sets[b.index()]);
+            for inst in &blk.insts {
+                if inst.op.is_dbg() && !debug_aware {
+                    continue;
+                }
+                inst.op.for_each_use(|v| {
+                    if let Some(r) = v.as_reg() {
+                        if !def_b.contains(r) {
+                            use_b.insert(r);
+                        }
+                    }
+                });
+                if let Some(d) = inst.op.def() {
+                    def_b.insert(d);
+                }
+            }
+            blk.term.for_each_use(|v| {
+                if let Some(r) = v.as_reg() {
+                    if !def_b.contains(r) {
+                        use_b.insert(r);
+                    }
+                }
+            });
+        }
+
+        let mut live_in = vec![RegSet::new(f.vreg_count); n];
+        let mut live_out = vec![RegSet::new(f.vreg_count); n];
+        // Iterate to fixpoint in postorder (backward problem).
+        let order = postorder(f);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut out = RegSet::new(f.vreg_count);
+                for &s in &succs[b.index()] {
+                    out.union_with(&live_in[s.index()]);
+                }
+                // in = use ∪ (out \ def)
+                let mut inp = use_sets[b.index()].clone();
+                for r in out.iter() {
+                    if !def_sets[b.index()].contains(r) {
+                        inp.insert(r);
+                    }
+                }
+                if inp != live_in[b.index()] {
+                    live_in[b.index()] = inp;
+                    changed = true;
+                }
+                live_out[b.index()] = out;
+            }
+        }
+
+        Liveness {
+            live_in,
+            live_out,
+            debug_aware,
+        }
+    }
+
+    /// Live-out set of block `b`.
+    pub fn out(&self, b: BlockId) -> &RegSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Live-in set of block `b`.
+    pub fn r#in(&self, b: BlockId) -> &RegSet {
+        &self.live_in[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, DbgLoc, Inst, Op, Terminator, Value};
+    use crate::module::{Block, FuncAttrs, FuncId, Function, VarId};
+
+    fn simple_loop() -> Function {
+        // bb0: %0 = 0; jmp bb1
+        // bb1: %1 = %0 + 1; br %1 ? bb1 : bb2
+        // bb2: ret %1
+        let mut b0 = Block::new(Terminator::Jump(BlockId(1)));
+        b0.insts.push(Inst::synth(Op::Copy {
+            dst: VReg(0),
+            src: Value::Const(0),
+        }));
+        let mut b1 = Block::new(Terminator::Branch {
+            cond: Value::Reg(VReg(1)),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+            prob_then: None,
+        });
+        b1.insts.push(Inst::synth(Op::Bin {
+            dst: VReg(1),
+            op: BinOp::Add,
+            lhs: Value::Reg(VReg(0)),
+            rhs: Value::Const(1),
+        }));
+        let b2 = Block::new(Terminator::Ret(Some(Value::Reg(VReg(1)))));
+        Function {
+            name: "l".into(),
+            id: FuncId(0),
+            params: vec![],
+            blocks: vec![b0, b1, b2],
+            entry: BlockId(0),
+            vreg_count: 2,
+            vars: vec![],
+            slots: vec![],
+            line: 1,
+            end_line: 1,
+            attrs: FuncAttrs::default(),
+        }
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around_backedge() {
+        let f = simple_loop();
+        let lv = Liveness::compute(&f);
+        assert!(lv.r#in(BlockId(1)).contains(VReg(0)));
+        assert!(lv.out(BlockId(1)).contains(VReg(0)), "backedge keeps %0 live");
+        assert!(lv.out(BlockId(1)).contains(VReg(1)));
+        assert!(!lv.r#in(BlockId(0)).contains(VReg(0)));
+    }
+
+    #[test]
+    fn dbg_uses_ignored_by_default() {
+        let mut f = simple_loop();
+        // Add a dbg.value of %0 in bb2 (after its last real use).
+        f.blocks[2].insts.push(Inst::synth(Op::DbgValue {
+            var: VarId(0),
+            loc: DbgLoc::Value(Value::Reg(VReg(0))),
+        }));
+        let lv = Liveness::compute(&f);
+        assert!(
+            !lv.r#in(BlockId(2)).contains(VReg(0)),
+            "plain liveness must not count debug uses"
+        );
+        let lv_dbg = Liveness::compute_debug_aware(&f);
+        assert!(
+            lv_dbg.r#in(BlockId(2)).contains(VReg(0)),
+            "debug-aware liveness counts them"
+        );
+    }
+
+    #[test]
+    fn regset_operations() {
+        let mut s = RegSet::new(130);
+        assert!(s.insert(VReg(0)));
+        assert!(s.insert(VReg(129)));
+        assert!(!s.insert(VReg(0)), "double insert reports no change");
+        assert!(s.contains(VReg(129)));
+        assert_eq!(s.len(), 2);
+        s.remove(VReg(0));
+        assert!(!s.contains(VReg(0)));
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![VReg(129)]);
+    }
+
+    #[test]
+    fn regset_union() {
+        let mut a = RegSet::new(10);
+        let mut b = RegSet::new(10);
+        a.insert(VReg(1));
+        b.insert(VReg(2));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert!(a.contains(VReg(1)) && a.contains(VReg(2)));
+    }
+}

@@ -1,0 +1,143 @@
+//! Textual dump of IR modules, for debugging and golden tests.
+
+use crate::inst::{DbgLoc, Op, Terminator, Value};
+use crate::module::{Function, Module};
+use std::fmt::Write;
+
+/// Renders a module as readable IR text.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for g in &m.globals {
+        let _ = writeln!(out, "global {} : {} words = {}", g.name, g.size, g.init);
+    }
+    for &id in &m.order {
+        out.push_str(&print_function(m.func(id)));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function as readable IR text.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f.params.iter().map(|r| r.to_string()).collect();
+    let _ = writeln!(out, "func {}({}) {{", f.name, params.join(", "));
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        let _ = writeln!(out, "{b}:");
+        for inst in &blk.insts {
+            let _ = writeln!(out, "    {}  ; line {}", print_op(&inst.op, f), inst.line);
+        }
+        let term = match &blk.term {
+            Terminator::Jump(t) => format!("jmp {t}"),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+                prob_then,
+            } => {
+                let p = prob_then.map_or(String::new(), |p| format!(" !prob {p}‰"));
+                format!("br {} ? {then_bb} : {else_bb}{p}", print_val(*cond))
+            }
+            Terminator::Ret(None) => "ret".into(),
+            Terminator::Ret(Some(v)) => format!("ret {}", print_val(*v)),
+        };
+        let _ = writeln!(out, "    {}  ; line {}", term, blk.term_line);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_val(v: Value) -> String {
+    match v {
+        Value::Reg(r) => r.to_string(),
+        Value::Const(c) => c.to_string(),
+    }
+}
+
+fn print_op(op: &Op, f: &Function) -> String {
+    match op {
+        Op::Copy { dst, src } => format!("{dst} = {}", print_val(*src)),
+        Op::Un { dst, op, src } => format!("{dst} = {}{}", op.symbol(), print_val(*src)),
+        Op::Bin { dst, op, lhs, rhs } => format!(
+            "{dst} = {} {} {}",
+            print_val(*lhs),
+            op.symbol(),
+            print_val(*rhs)
+        ),
+        Op::Select {
+            dst,
+            cond,
+            on_true,
+            on_false,
+        } => format!(
+            "{dst} = select {} ? {} : {}",
+            print_val(*cond),
+            print_val(*on_true),
+            print_val(*on_false)
+        ),
+        Op::LoadSlot { dst, slot } => format!("{dst} = load {slot}"),
+        Op::StoreSlot { slot, src } => format!("store {slot}, {}", print_val(*src)),
+        Op::LoadIdx { dst, slot, index } => {
+            format!("{dst} = load {slot}[{}]", print_val(*index))
+        }
+        Op::StoreIdx { slot, index, src } => {
+            format!("store {slot}[{}], {}", print_val(*index), print_val(*src))
+        }
+        Op::LoadGlobal { dst, global } => format!("{dst} = load {global}"),
+        Op::StoreGlobal { global, src } => format!("store {global}, {}", print_val(*src)),
+        Op::LoadGIdx { dst, global, index } => {
+            format!("{dst} = load {global}[{}]", print_val(*index))
+        }
+        Op::StoreGIdx { global, index, src } => {
+            format!("store {global}[{}], {}", print_val(*index), print_val(*src))
+        }
+        Op::Call { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| print_val(*a)).collect();
+            format!("{dst} = call {callee}({})", args.join(", "))
+        }
+        Op::In { dst, index } => format!("{dst} = in({})", print_val(*index)),
+        Op::InLen { dst } => format!("{dst} = in_len()"),
+        Op::Out { src } => format!("out({})", print_val(*src)),
+        Op::DbgValue { var, loc } => {
+            let name = f
+                .vars
+                .get(var.index())
+                .map_or("<bad>", |v| v.name.as_str());
+            let loc = match loc {
+                DbgLoc::Value(v) => print_val(*v),
+                DbgLoc::Slot(s) => s.to_string(),
+                DbgLoc::Undef => "undef".into(),
+            };
+            format!("dbg.value {name} = {loc}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::module::{VReg, VarInfo};
+
+    #[test]
+    fn prints_function_text() {
+        let mut b = FunctionBuilder::new("f", 1, 1);
+        let var = b.var(VarInfo {
+            name: "x".into(),
+            is_param: false,
+            is_array: false,
+            decl_line: 2,
+        });
+        let t = b.bin(BinOp::Add, Value::Reg(VReg(0)), Value::Const(1), 2);
+        b.dbg_value(var, DbgLoc::Value(Value::Reg(t)), 2);
+        b.ret(Some(Value::Reg(t)), 3);
+        let f = b.finish(4);
+        let text = print_function(&f);
+        assert!(text.contains("func f(%0)"));
+        assert!(text.contains("%1 = %0 + 1"));
+        assert!(text.contains("dbg.value x = %1"));
+        assert!(text.contains("ret %1"));
+    }
+}

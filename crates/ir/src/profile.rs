@@ -1,0 +1,120 @@
+//! Source-level execution profiles (the AutoFDO exchange format).
+//!
+//! A profile maps source lines to sample counts. It is produced by the
+//! `dt-autofdo` crate from PC samples resolved through a binary's
+//! line-number table — so its fidelity depends directly on the debug
+//! information quality of the profiled binary, which is the paper's
+//! AutoFDO case study in a nutshell. Optimization passes consume the
+//! profile through the query methods here.
+
+use std::collections::HashMap;
+
+/// A line-keyed sample profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Samples attributed to each source line.
+    pub line_samples: HashMap<u32, u64>,
+    /// Total samples taken (including ones that could not be mapped to
+    /// any line — the "lost" samples caused by missing debug info).
+    pub total_samples: u64,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` samples at `line`.
+    pub fn add(&mut self, line: u32, n: u64) {
+        *self.line_samples.entry(line).or_insert(0) += n;
+        self.total_samples += n;
+    }
+
+    /// Records samples that could not be mapped to a line.
+    pub fn add_unmapped(&mut self, n: u64) {
+        self.total_samples += n;
+    }
+
+    /// Samples at `line`.
+    pub fn at(&self, line: u32) -> u64 {
+        self.line_samples.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Total samples over an inclusive line range (a function body).
+    pub fn range(&self, lo: u32, hi: u32) -> u64 {
+        self.line_samples
+            .iter()
+            .filter(|(&l, _)| l >= lo && l <= hi)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Fraction of all samples mapped to lines (the profile's quality;
+    /// 1.0 means every sample had usable debug info).
+    pub fn mapped_fraction(&self) -> f64 {
+        if self.total_samples == 0 {
+            return 0.0;
+        }
+        let mapped: u64 = self.line_samples.values().sum();
+        mapped as f64 / self.total_samples as f64
+    }
+
+    /// Whether `line` is hot: it holds at least `pct`% of all samples
+    /// or exceeds the mean line weight by 4x.
+    pub fn is_hot(&self, line: u32, pct: f64) -> bool {
+        if self.total_samples == 0 || self.line_samples.is_empty() {
+            return false;
+        }
+        let s = self.at(line);
+        if s == 0 {
+            return false;
+        }
+        let share = s as f64 / self.total_samples as f64;
+        let mean = self.total_samples as f64 / self.line_samples.len() as f64;
+        share >= pct / 100.0 || s as f64 >= 4.0 * mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_samples() {
+        let mut p = Profile::new();
+        p.add(10, 5);
+        p.add(10, 3);
+        p.add(11, 2);
+        p.add_unmapped(10);
+        assert_eq!(p.at(10), 8);
+        assert_eq!(p.at(99), 0);
+        assert_eq!(p.total_samples, 20);
+        assert!((p.mapped_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_sums_lines() {
+        let mut p = Profile::new();
+        p.add(5, 1);
+        p.add(7, 2);
+        p.add(9, 4);
+        assert_eq!(p.range(5, 7), 3);
+        assert_eq!(p.range(6, 9), 6);
+        assert_eq!(p.range(10, 20), 0);
+    }
+
+    #[test]
+    fn hotness_detection() {
+        let mut p = Profile::new();
+        p.add(1, 96);
+        p.add(2, 1);
+        p.add(3, 1);
+        p.add(4, 1);
+        p.add(5, 1);
+        assert!(p.is_hot(1, 50.0));
+        assert!(!p.is_hot(2, 50.0));
+        assert!(!p.is_hot(99, 1.0));
+        assert!(!Profile::new().is_hot(1, 1.0));
+    }
+}

@@ -1,0 +1,229 @@
+//! Structural verifier for IR modules.
+//!
+//! Run between passes in tests (and on demand in the pass manager's
+//! checked mode) to catch malformed IR early: dangling block targets,
+//! out-of-range registers/slots/vars/globals, and branches into dead
+//! blocks.
+
+use crate::module::{Function, Module};
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub func: String,
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR verify failed in `{}`: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function of `m`.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for (i, f) in m.funcs.iter().enumerate() {
+        if f.id.index() != i {
+            return Err(VerifyError {
+                func: f.name.clone(),
+                message: format!("function id {} does not match position {i}", f.id),
+            });
+        }
+        verify_function_in(f, Some(m))?;
+    }
+    // Emission order must be a permutation of the function ids.
+    let mut seen = vec![false; m.funcs.len()];
+    for id in &m.order {
+        if id.index() >= m.funcs.len() || seen[id.index()] {
+            return Err(VerifyError {
+                func: String::new(),
+                message: "module emission order is not a permutation".into(),
+            });
+        }
+        seen[id.index()] = true;
+    }
+    if !seen.iter().all(|&s| s) {
+        return Err(VerifyError {
+            func: String::new(),
+            message: "module emission order misses functions".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Verifies a single function without module context (calls unchecked).
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    verify_function_in(f, None)
+}
+
+fn verify_function_in(f: &Function, m: Option<&Module>) -> Result<(), VerifyError> {
+    let err = |message: String| VerifyError {
+        func: f.name.clone(),
+        message,
+    };
+    if f.entry.index() >= f.blocks.len() {
+        return Err(err("entry block out of range".into()));
+    }
+    if f.blocks[f.entry.index()].dead {
+        return Err(err("entry block is dead".into()));
+    }
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        for (i, inst) in blk.insts.iter().enumerate() {
+            let at = |what: &str| err(format!("{what} in {b}, inst {i}"));
+            if let Some(d) = inst.op.def() {
+                if d.index() >= f.vreg_count as usize {
+                    return Err(at("destination register out of range"));
+                }
+            }
+            let mut bad_use = false;
+            inst.op.for_each_use(|v| {
+                if let Some(r) = v.as_reg() {
+                    if r.index() >= f.vreg_count as usize {
+                        bad_use = true;
+                    }
+                }
+            });
+            if bad_use {
+                return Err(at("operand register out of range"));
+            }
+            match &inst.op {
+                crate::inst::Op::LoadSlot { slot, .. }
+                | crate::inst::Op::StoreSlot { slot, .. }
+                | crate::inst::Op::LoadIdx { slot, .. }
+                | crate::inst::Op::StoreIdx { slot, .. } => {
+                    if slot.index() >= f.slots.len() {
+                        return Err(at("slot out of range"));
+                    }
+                }
+                crate::inst::Op::LoadGlobal { global, .. }
+                | crate::inst::Op::StoreGlobal { global, .. }
+                | crate::inst::Op::LoadGIdx { global, .. }
+                | crate::inst::Op::StoreGIdx { global, .. } => {
+                    if let Some(m) = m {
+                        if global.index() >= m.globals.len() {
+                            return Err(at("global out of range"));
+                        }
+                    }
+                }
+                crate::inst::Op::Call { callee, .. } => {
+                    if let Some(m) = m {
+                        if callee.index() >= m.funcs.len() {
+                            return Err(at("callee out of range"));
+                        }
+                    }
+                }
+                crate::inst::Op::DbgValue { var, .. } => {
+                    if var.index() >= f.vars.len() {
+                        return Err(at("debug variable out of range"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for s in blk.term.successors() {
+            if s.index() >= f.blocks.len() {
+                return Err(err(format!("{b} branches to out-of-range {s}")));
+            }
+            if f.block(s).dead {
+                return Err(err(format!("{b} branches to dead {s}")));
+            }
+        }
+        let mut bad_term_use = false;
+        blk.term.for_each_use(|v| {
+            if let Some(r) = v.as_reg() {
+                if r.index() >= f.vreg_count as usize {
+                    bad_term_use = true;
+                }
+            }
+        });
+        if bad_term_use {
+            return Err(err(format!("{b} terminator uses out-of-range register")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{Inst, Op, Terminator, Value};
+    use crate::module::{BlockId, GlobalInfo, Module, VReg};
+
+    fn ok_function() -> crate::module::Function {
+        let mut b = FunctionBuilder::new("f", 1, 1);
+        let t = b.copy(Value::Reg(VReg(0)), 2);
+        b.ret(Some(Value::Reg(t)), 3);
+        b.finish(4)
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        verify_function(&ok_function()).unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let mut f = ok_function();
+        f.blocks[0].insts.push(Inst::synth(Op::Copy {
+            dst: VReg(99),
+            src: Value::Const(0),
+        }));
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("destination register"));
+    }
+
+    #[test]
+    fn rejects_branch_to_dead_block() {
+        let mut f = ok_function();
+        let dead = f.new_block(Terminator::Ret(None));
+        f.remove_block(dead);
+        f.blocks[0].term = Terminator::Jump(dead);
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("dead"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let mut f = ok_function();
+        f.blocks[0].term = Terminator::Jump(BlockId(42));
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("out-of-range"));
+    }
+
+    #[test]
+    fn module_checks_globals_and_order() {
+        let mut m = Module::new();
+        let fid = m.add_function(ok_function());
+        m.add_global(GlobalInfo {
+            name: "x".into(),
+            size: 1,
+            init: 0,
+            line: 1,
+        });
+        verify_module(&m).unwrap();
+
+        // Break the emission order.
+        m.order = vec![fid, fid];
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("permutation"));
+    }
+
+    #[test]
+    fn module_rejects_bad_global_ref() {
+        let mut m = Module::new();
+        let mut f = ok_function();
+        f.blocks[0].insts.push(Inst::synth(Op::LoadGlobal {
+            dst: VReg(1),
+            global: crate::module::GlobalId(5),
+        }));
+        f.vreg_count = 2;
+        m.add_function(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("global out of range"));
+    }
+}

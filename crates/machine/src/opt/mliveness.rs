@@ -1,0 +1,125 @@
+//! Block-level register liveness for machine IR, shared by the backend
+//! passes (sinking, cross-jumping, shrink-wrapping).
+
+use crate::mir::{MFunction, VR};
+use dt_ir::liveness::RegSet;
+use dt_ir::VReg;
+
+/// Per-block live-in and live-out sets over machine virtual registers.
+pub struct MLiveness {
+    pub live_in: Vec<RegSet>,
+    pub live_out: Vec<RegSet>,
+}
+
+/// Computes machine-IR liveness. Debug pseudo operands are ignored
+/// (they never extend live ranges).
+pub fn compute(f: &MFunction<VR>) -> MLiveness {
+    let n = f.blocks.len();
+    let mut use_sets = vec![RegSet::new(f.nvregs); n];
+    let mut def_sets = vec![RegSet::new(f.nvregs); n];
+    for b in f.live_blocks() {
+        let blk = &f.blocks[b as usize];
+        let (u, d) = (&mut use_sets[b as usize], &mut def_sets[b as usize]);
+        for inst in &blk.insts {
+            inst.op.for_each_use(|r| {
+                if !d.contains(VReg(r)) {
+                    u.insert(VReg(r));
+                }
+            });
+            if let Some(def) = inst.op.def() {
+                d.insert(VReg(def));
+            }
+        }
+        blk.term.for_each_use(|r| {
+            if !d.contains(VReg(r)) {
+                u.insert(VReg(r));
+            }
+        });
+    }
+    let mut live_in = vec![RegSet::new(f.nvregs); n];
+    let mut live_out = vec![RegSet::new(f.nvregs); n];
+    let blocks: Vec<u32> = f.live_blocks().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in blocks.iter().rev() {
+            let mut out = RegSet::new(f.nvregs);
+            for s in f.blocks[b as usize].term.successors() {
+                out.union_with(&live_in[s as usize]);
+            }
+            let mut inp = use_sets[b as usize].clone();
+            for r in out.iter() {
+                if !def_sets[b as usize].contains(r) {
+                    inp.insert(r);
+                }
+            }
+            if inp != live_in[b as usize] {
+                live_in[b as usize] = inp;
+                changed = true;
+            }
+            live_out[b as usize] = out;
+        }
+    }
+    MLiveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_module;
+
+    #[test]
+    fn o0_code_keeps_values_block_local() {
+        // At O0 every value goes through a slot, so no vreg should be
+        // live across block boundaries (the slot carries the value).
+        let src = "int f(int n) { int i = 0; while (i < n) { i = i + 1; } return i; }";
+        let m = dt_frontend::lower_source(src).unwrap();
+        let mm = lower_module(&m);
+        let f = &mm.funcs[0];
+        let lv = compute(f);
+        for b in f.live_blocks() {
+            assert!(
+                lv.live_in[b as usize].is_empty(),
+                "block {b} has unexpected live-in values at O0"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_block_value_is_live() {
+        use crate::mir::{MBlock, MInst, MOpKind, MTerm};
+        // entry defines %0, block 1 uses it.
+        let blocks = vec![
+            MBlock {
+                insts: vec![MInst::new(MOpKind::Imm { rd: 0, value: 7 }, 1)],
+                term: MTerm::Jmp(1),
+                term_line: 0,
+                dead: false,
+            },
+            MBlock {
+                insts: vec![MInst::new(MOpKind::Out { rs: 0 }, 2)],
+                term: MTerm::Ret(None),
+                term_line: 3,
+                dead: false,
+            },
+        ];
+        let mut f = MFunction {
+            name: "t".into(),
+            blocks,
+            entry: 0,
+            layout: vec![],
+            nvregs: 1,
+            slot_sizes: vec![],
+            vars: vec![],
+            decl_line: 1,
+            end_line: 3,
+            nparams: 0,
+            shrink_wrapped: false,
+        };
+        f.default_layout();
+        let lv = compute(&f);
+        assert!(lv.live_out[0].contains(dt_ir::VReg(0)));
+        assert!(lv.live_in[1].contains(dt_ir::VReg(0)));
+        assert!(lv.live_in[0].is_empty());
+    }
+}

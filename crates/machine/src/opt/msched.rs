@@ -1,0 +1,342 @@
+//! Instruction scheduling within blocks (`schedule-insns2`).
+//!
+//! List scheduling that hoists loads away from their consumers to hide
+//! the VM's load-use stall (+2 cycles when an instruction consumes the
+//! result of the immediately preceding load).
+//!
+//! Debug model: after reordering, any instruction whose source line
+//! would step *backwards* relative to the lines already emitted in the
+//! block is re-attributed to line 0 — the compiler cannot express a
+//! non-monotone walk without confusing the debugger, so it gives the
+//! moved instruction no line. This is the dominant back-end loss the
+//! paper measures for `schedule-insns2`.
+
+use crate::mir::{MFunction, MInst, VR};
+use std::collections::HashMap;
+
+/// Schedules every block of `f`.
+pub fn run(f: &mut MFunction<VR>) {
+    let block_ids: Vec<u32> = f.live_blocks().collect();
+    for b in block_ids {
+        let insts = std::mem::take(&mut f.blocks[b as usize].insts);
+        f.blocks[b as usize].insts = schedule_block(insts);
+    }
+}
+
+/// A schedulable unit: one instruction plus the debug pseudos attached
+/// directly after it (they describe its result and must travel with it).
+struct Unit {
+    insts: Vec<MInst<VR>>,
+    /// Original position (stable tie-break).
+    orig: usize,
+    is_load: bool,
+    is_barrier: bool,
+}
+
+impl Unit {
+    fn main(&self) -> &MInst<VR> {
+        &self.insts[0]
+    }
+}
+
+fn schedule_block(insts: Vec<MInst<VR>>) -> Vec<MInst<VR>> {
+    // Group instructions into units (inst + trailing Dbg pseudos).
+    let mut units: Vec<Unit> = Vec::new();
+    for inst in insts {
+        if inst.op.is_dbg() && !units.is_empty() && !units.last().unwrap().is_barrier {
+            units.last_mut().unwrap().insts.push(inst);
+            continue;
+        }
+        let is_barrier = inst.op.has_side_effect() || inst.op.is_dbg();
+        let is_load = inst.op.is_load();
+        units.push(Unit {
+            orig: units.len(),
+            is_load,
+            is_barrier,
+            insts: vec![inst],
+        });
+    }
+    if units.len() < 3 {
+        return units.into_iter().flat_map(|u| u.insts).collect();
+    }
+
+    // Dependences: def-use over registers, plus barriers keep total
+    // order among themselves and fence everything that follows them.
+    let n = units.len();
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n]; // deps[i] = predecessors
+    let mut last_def: HashMap<VR, usize> = HashMap::new();
+    let mut last_uses: HashMap<VR, Vec<usize>> = HashMap::new();
+    let mut last_barrier: Option<usize> = None;
+    for (i, u) in units.iter().enumerate() {
+        let add = |deps: &mut Vec<Vec<usize>>, from: usize| {
+            if !deps[i].contains(&from) {
+                deps[i].push(from);
+            }
+        };
+        // True and anti dependences on registers (main inst only; the
+        // attached pseudos reference the same def).
+        u.main().op.for_each_use(|r| {
+            if let Some(&d) = last_def.get(&r) {
+                add(&mut deps, d);
+            }
+        });
+        if let Some(d) = u.main().op.def() {
+            if let Some(&prev) = last_def.get(&d) {
+                add(&mut deps, prev); // output dependence
+            }
+            if let Some(uses) = last_uses.get(&d) {
+                for &use_i in uses {
+                    if use_i != i {
+                        add(&mut deps, use_i); // anti dependence
+                    }
+                }
+            }
+        }
+        if let Some(b) = last_barrier {
+            add(&mut deps, b);
+        }
+        if u.is_barrier {
+            // Barriers depend on everything before them.
+            for j in 0..i {
+                add(&mut deps, j);
+            }
+            last_barrier = Some(i);
+        }
+        u.main().op.for_each_use(|r| last_uses.entry(r).or_default().push(i));
+        if let Some(d) = u.main().op.def() {
+            last_def.insert(d, i);
+            last_uses.remove(&d);
+        }
+    }
+
+    // Greedy list scheduling: prefer loads (issue them early), then
+    // original order. Avoid scheduling a unit that consumes the result
+    // of the unit just placed if that unit was a load and an
+    // alternative exists.
+    let mut indeg: Vec<usize> = deps.iter().map(|d| d.len()).collect();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ds) in deps.iter().enumerate() {
+        for &d in ds {
+            succs[d].push(i);
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut out_units: Vec<usize> = Vec::with_capacity(n);
+    let mut last_placed: Option<usize> = None;
+    while !ready.is_empty() {
+        ready.sort_by_key(|&i| (!units[i].is_load as u8, units[i].orig));
+        // Hazard avoidance: skip units consuming the just-placed load.
+        let pick_pos = (0..ready.len())
+            .find(|&p| {
+                let i = ready[p];
+                match last_placed {
+                    Some(lp) if units[lp].is_load => {
+                        let ld = units[lp].main().op.def();
+                        let mut consumes = false;
+                        units[i].main().op.for_each_use(|r| {
+                            if Some(r) == ld {
+                                consumes = true;
+                            }
+                        });
+                        !consumes || ready.len() == 1
+                    }
+                    _ => true,
+                }
+            })
+            .unwrap_or(0);
+        let i = ready.remove(pick_pos);
+        out_units.push(i);
+        last_placed = Some(i);
+        for &s in &succs[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(out_units.len(), n);
+
+    // Re-attribute lines: anything stepping backwards becomes line 0.
+    let mut result: Vec<MInst<VR>> = Vec::new();
+    let mut max_line = 0u32;
+    for &ui in &out_units {
+        for (k, inst) in units[ui].insts.iter().enumerate() {
+            let mut inst = inst.clone();
+            if k == 0 && inst.line != 0 {
+                if inst.line < max_line {
+                    inst.line = 0;
+                    inst.stmt = false;
+                } else {
+                    max_line = inst.line;
+                }
+            }
+            result.push(inst);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_module;
+    use crate::mir::MOpKind;
+    use dt_ir::BinOp;
+
+    fn machine(src: &str) -> crate::mir::MModule<VR> {
+        lower_module(&dt_frontend::lower_source(src).unwrap())
+    }
+
+    /// Hand-built block: load a; use a; load b; use b — scheduling
+    /// should interleave the loads ahead of the uses.
+    #[test]
+    fn separates_loads_from_uses() {
+        let insts = vec![
+            MInst::new(MOpKind::LdSlot { rd: 0, slot: 0 }, 2),
+            MInst::new(
+                MOpKind::BinImm {
+                    op: BinOp::Add,
+                    rd: 1,
+                    ra: 0,
+                    imm: 1,
+                },
+                3,
+            ),
+            MInst::new(MOpKind::LdSlot { rd: 2, slot: 1 }, 4),
+            MInst::new(
+                MOpKind::BinImm {
+                    op: BinOp::Mul,
+                    rd: 3,
+                    ra: 2,
+                    imm: 2,
+                },
+                5,
+            ),
+        ];
+        let scheduled = schedule_block(insts);
+        let kinds: Vec<bool> = scheduled.iter().map(|i| i.op.is_load()).collect();
+        // Both loads first is the stall-free schedule.
+        assert_eq!(kinds, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn backwards_lines_become_line_zero() {
+        let insts = vec![
+            MInst::new(MOpKind::LdSlot { rd: 0, slot: 0 }, 2),
+            MInst::new(
+                MOpKind::BinImm {
+                    op: BinOp::Add,
+                    rd: 1,
+                    ra: 0,
+                    imm: 1,
+                },
+                3,
+            ),
+            MInst::new(MOpKind::LdSlot { rd: 2, slot: 1 }, 4),
+            MInst::new(
+                MOpKind::BinImm {
+                    op: BinOp::Mul,
+                    rd: 3,
+                    ra: 2,
+                    imm: 2,
+                },
+                5,
+            ),
+        ];
+        let scheduled = schedule_block(insts);
+        // The hoisted second load (line 4) now precedes line 3's use;
+        // the use at line 3 steps backwards and must lose its line.
+        let zeroed = scheduled.iter().filter(|i| i.line == 0).count();
+        assert!(zeroed >= 1, "scheduling must zero non-monotone lines");
+    }
+
+    #[test]
+    fn dependences_are_respected() {
+        let mut mm = machine(
+            "int f(int a, int b) { int x = a + b; int y = x * 2; int z = y - a; return z; }",
+        );
+        let f = &mut mm.funcs[0];
+        let before: Vec<_> = f.blocks[f.entry as usize]
+            .insts
+            .iter()
+            .filter(|i| !i.op.is_dbg())
+            .cloned()
+            .collect();
+        run(f);
+        let after: Vec<_> = f.blocks[f.entry as usize]
+            .insts
+            .iter()
+            .filter(|i| !i.op.is_dbg())
+            .cloned()
+            .collect();
+        assert_eq!(before.len(), after.len());
+        // Verify def-before-use still holds for every register.
+        let mut defined: std::collections::HashSet<VR> = Default::default();
+        for inst in &after {
+            inst.op.for_each_use(|r| {
+                assert!(defined.contains(&r), "use of {r} before def after scheduling");
+            });
+            if let Some(d) = inst.op.def() {
+                defined.insert(d);
+            }
+        }
+    }
+
+    #[test]
+    fn side_effect_order_is_preserved() {
+        let mut mm = machine("int f() { out(1); out(2); out(3); return 0; }");
+        let f = &mut mm.funcs[0];
+        run(f);
+        let outs: Vec<i64> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|i| match i.op {
+                MOpKind::Imm { value, .. } => Some(value),
+                _ => None,
+            })
+            .collect();
+        // The immediates feeding out() must stay in order.
+        let pos1 = outs.iter().position(|&v| v == 1).unwrap();
+        let pos3 = outs.iter().position(|&v| v == 3).unwrap();
+        assert!(pos1 < pos3);
+    }
+
+    #[test]
+    fn dbg_pseudos_travel_with_their_instruction() {
+        let insts = vec![
+            MInst::new(MOpKind::LdSlot { rd: 0, slot: 0 }, 2),
+            MInst::new(
+                MOpKind::BinImm {
+                    op: BinOp::Add,
+                    rd: 1,
+                    ra: 0,
+                    imm: 1,
+                },
+                3,
+            ),
+            {
+                let mut d = MInst::new(
+                    MOpKind::Dbg {
+                        var: 0,
+                        loc: crate::mir::MDbgLoc::Reg(1),
+                    },
+                    3,
+                );
+                d.stmt = false;
+                d
+            },
+            MInst::new(MOpKind::LdSlot { rd: 2, slot: 1 }, 4),
+        ];
+        let scheduled = schedule_block(insts);
+        // The Dbg must still directly follow the Add that defines %1.
+        let add_pos = scheduled
+            .iter()
+            .position(|i| matches!(i.op, MOpKind::BinImm { rd: 1, .. }))
+            .unwrap();
+        assert!(matches!(
+            scheduled[add_pos + 1].op,
+            MOpKind::Dbg { var: 0, .. }
+        ));
+    }
+}

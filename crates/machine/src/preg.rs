@@ -1,0 +1,60 @@
+//! Physical registers of the VISA target.
+//!
+//! Eight integer registers: `r0..r4` are allocatable (and caller-saved
+//! — values live across calls must be spilled), `r5`/`r6`/`r7` are
+//! reserved as spill-reload scratch (three, because a `select` may have
+//! three spilled operands). `r0` doubles as the return-value register.
+//! A separate eight-entry argument bank (`a0..a7`) carries call
+//! arguments; it is saved/restored across calls by the VM.
+
+use std::fmt;
+
+/// A physical register index (0..8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PReg(pub u8);
+
+impl PReg {
+    /// Number of registers visible to the allocator and the VM regfile.
+    pub const COUNT: usize = 8;
+    /// Number of allocatable registers (`r0..r4`).
+    pub const ALLOCATABLE: usize = 5;
+    /// First scratch register, used to reload spilled operands.
+    pub const SCRATCH0: PReg = PReg(5);
+    /// Second scratch register.
+    pub const SCRATCH1: PReg = PReg(6);
+    /// Third scratch register.
+    pub const SCRATCH2: PReg = PReg(7);
+    /// The return-value register.
+    pub const RET: PReg = PReg(0);
+    /// Maximum number of call arguments (size of the argument bank).
+    pub const MAX_ARGS: usize = 8;
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All allocatable registers.
+    pub fn allocatable() -> impl Iterator<Item = PReg> {
+        (0..Self::ALLOCATABLE as u8).map(PReg)
+    }
+}
+
+impl fmt::Display for PReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_layout() {
+        assert_eq!(PReg::allocatable().count(), 5);
+        assert!(PReg::allocatable().all(|r| r.index() < PReg::SCRATCH0.index()));
+        assert_eq!(PReg::RET.index(), 0);
+        assert_eq!(PReg(3).to_string(), "r3");
+    }
+}

@@ -1,0 +1,351 @@
+//! Hand-written lexer for MiniC.
+//!
+//! Tracks 1-based line numbers, which are the atoms of every
+//! debug-information metric in the workspace. Supports `//` line
+//! comments and `/* ... */` block comments (which may span lines).
+
+use crate::token::{Token, TokenKind};
+use std::fmt;
+
+/// An error produced while tokenizing MiniC source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming MiniC tokenizer.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Tokenizes the whole input, ending with an [`TokenKind::Eof`] token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start_line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(LexError {
+                                line: start_line,
+                                message: "unterminated block comment".into(),
+                            });
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let line = self.line;
+        if self.pos >= self.src.len() {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                line,
+            });
+        }
+        let c = self.peek();
+        let kind = match c {
+            b'0'..=b'9' => return self.lex_number(),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => return Ok(self.lex_ident()),
+            b'(' => self.single(TokenKind::LParen),
+            b')' => self.single(TokenKind::RParen),
+            b'{' => self.single(TokenKind::LBrace),
+            b'}' => self.single(TokenKind::RBrace),
+            b'[' => self.single(TokenKind::LBracket),
+            b']' => self.single(TokenKind::RBracket),
+            b';' => self.single(TokenKind::Semi),
+            b',' => self.single(TokenKind::Comma),
+            b'?' => self.single(TokenKind::Question),
+            b':' => self.single(TokenKind::Colon),
+            b'~' => self.single(TokenKind::Tilde),
+            b'+' => self.multi(&[("++", TokenKind::PlusPlus), ("+=", TokenKind::PlusAssign)], TokenKind::Plus),
+            b'-' => self.multi(
+                &[("--", TokenKind::MinusMinus), ("-=", TokenKind::MinusAssign)],
+                TokenKind::Minus,
+            ),
+            b'*' => self.multi(&[("*=", TokenKind::StarAssign)], TokenKind::Star),
+            b'/' => self.multi(&[("/=", TokenKind::SlashAssign)], TokenKind::Slash),
+            b'%' => self.multi(&[("%=", TokenKind::PercentAssign)], TokenKind::Percent),
+            b'^' => self.multi(&[("^=", TokenKind::CaretAssign)], TokenKind::Caret),
+            b'&' => self.multi(
+                &[("&&", TokenKind::AndAnd), ("&=", TokenKind::AmpAssign)],
+                TokenKind::Amp,
+            ),
+            b'|' => self.multi(
+                &[("||", TokenKind::OrOr), ("|=", TokenKind::PipeAssign)],
+                TokenKind::Pipe,
+            ),
+            b'!' => self.multi(&[("!=", TokenKind::Ne)], TokenKind::Bang),
+            b'=' => self.multi(&[("==", TokenKind::EqEq)], TokenKind::Assign),
+            b'<' => self.multi(
+                &[
+                    ("<<=", TokenKind::ShlAssign),
+                    ("<<", TokenKind::Shl),
+                    ("<=", TokenKind::Le),
+                ],
+                TokenKind::Lt,
+            ),
+            b'>' => self.multi(
+                &[
+                    (">>=", TokenKind::ShrAssign),
+                    (">>", TokenKind::Shr),
+                    (">=", TokenKind::Ge),
+                ],
+                TokenKind::Gt,
+            ),
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        };
+        Ok(Token { kind, line })
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    /// Tries each multi-character candidate in order (longest first),
+    /// falling back to the single-character token.
+    fn multi(&mut self, candidates: &[(&str, TokenKind)], fallback: TokenKind) -> TokenKind {
+        for (text, kind) in candidates {
+            let bytes = text.as_bytes();
+            if self.src[self.pos..].starts_with(bytes) {
+                for _ in 0..bytes.len() {
+                    self.bump();
+                }
+                return kind.clone();
+            }
+        }
+        self.bump();
+        fallback
+    }
+
+    fn lex_number(&mut self) -> Result<Token, LexError> {
+        let line = self.line;
+        let start = self.pos;
+        // Hexadecimal literals.
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.bump();
+            self.bump();
+            let hex_start = self.pos;
+            while self.peek().is_ascii_hexdigit() {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[hex_start..self.pos]).unwrap();
+            if text.is_empty() {
+                return Err(LexError {
+                    line,
+                    message: "empty hexadecimal literal".into(),
+                });
+            }
+            let value = i64::from_str_radix(text, 16).map_err(|_| LexError {
+                line,
+                message: format!("hexadecimal literal out of range: 0x{text}"),
+            })?;
+            return Ok(Token {
+                kind: TokenKind::Int(value),
+                line,
+            });
+        }
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let value: i64 = text.parse().map_err(|_| LexError {
+            line,
+            message: format!("integer literal out of range: {text}"),
+        })?;
+        Ok(Token {
+            kind: TokenKind::Int(value),
+            line,
+        })
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let line = self.line;
+        let start = self.pos;
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+        Token { kind, line }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("int x = 40 + 2;"),
+            vec![
+                T::KwInt,
+                T::Ident("x".into()),
+                T::Assign,
+                T::Int(40),
+                T::Plus,
+                T::Int(2),
+                T::Semi,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds("a <<= b >> c <= d == e && f"),
+            vec![
+                T::Ident("a".into()),
+                T::ShlAssign,
+                T::Ident("b".into()),
+                T::Shr,
+                T::Ident("c".into()),
+                T::Le,
+                T::Ident("d".into()),
+                T::EqEq,
+                T::Ident("e".into()),
+                T::AndAnd,
+                T::Ident("f".into()),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_follow_newlines() {
+        let toks = Lexer::new("a\nb\n\nc").tokenize().unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\n/* multi\nline */ b"),
+            vec![T::Ident("a".into()), T::Ident("b".into()), T::Eof]
+        );
+        let toks = Lexer::new("a /* x\ny */ b").tokenize().unwrap();
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(kinds("0xff 0x10"), vec![T::Int(255), T::Int(16), T::Eof]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        let err = Lexer::new("/* never ends").tokenize().unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        let err = Lexer::new("a $ b").tokenize().unwrap_err();
+        assert!(err.message.contains("unexpected"));
+    }
+
+    #[test]
+    fn increment_and_decrement() {
+        assert_eq!(
+            kinds("i++; j--;"),
+            vec![
+                T::Ident("i".into()),
+                T::PlusPlus,
+                T::Semi,
+                T::Ident("j".into()),
+                T::MinusMinus,
+                T::Semi,
+                T::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,883 @@
+//! Recursive-descent parser for MiniC.
+//!
+//! Compound assignments (`x += e`) and increment/decrement (`i++`) are
+//! desugared into plain assignments during parsing, so downstream code
+//! only deals with the canonical [`StmtKind`] set.
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer};
+use crate::token::{Token, TokenKind};
+use std::fmt;
+
+/// An error produced while parsing MiniC source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a MiniC source file into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn peek3(&self) -> &TokenKind {
+        let i = (self.pos + 2).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, u32), ParseError> {
+        let line = self.line();
+        match self.bump().kind {
+            TokenKind::Ident(name) => Ok((name, line)),
+            other => Err(ParseError {
+                line,
+                message: format!("expected identifier, found {}", other.describe()),
+            }),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        let line = self.line();
+        let negative = self.eat(&TokenKind::Minus);
+        match self.bump().kind {
+            TokenKind::Int(v) => Ok(if negative { v.wrapping_neg() } else { v }),
+            other => Err(ParseError {
+                line,
+                message: format!("expected integer literal, found {}", other.describe()),
+            }),
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message,
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut items = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        self.expect(&TokenKind::KwInt)?;
+        let (name, line) = self.expect_ident()?;
+        match self.peek() {
+            TokenKind::LParen => {
+                self.bump();
+                let mut params = Vec::new();
+                if self.peek() != &TokenKind::RParen {
+                    loop {
+                        self.expect(&TokenKind::KwInt)?;
+                        let (pname, pline) = self.expect_ident()?;
+                        params.push(Param {
+                            name: pname,
+                            line: pline,
+                        });
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::LBrace)?;
+                let body = self.stmt_list()?;
+                let end_line = self.line();
+                self.expect(&TokenKind::RBrace)?;
+                Ok(Item::Function(Function {
+                    name,
+                    params,
+                    body,
+                    line,
+                    end_line,
+                }))
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let len = self.expect_int()?;
+                if len <= 0 {
+                    return Err(self.error("array length must be positive".into()));
+                }
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Item::Global(GlobalDecl {
+                    name,
+                    array_len: Some(len as u32),
+                    init: 0,
+                    line,
+                }))
+            }
+            _ => {
+                let init = if self.eat(&TokenKind::Assign) {
+                    self.expect_int()?
+                } else {
+                    0
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Item::Global(GlobalDecl {
+                    name,
+                    array_len: None,
+                    init,
+                    line,
+                }))
+            }
+        }
+    }
+
+    fn stmt_list(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace && self.peek() != &TokenKind::Eof {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let kind = match self.peek().clone() {
+            TokenKind::KwInt => {
+                let s = self.decl_stmt()?;
+                self.expect(&TokenKind::Semi)?;
+                s
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_branch = self.branch_body()?;
+                let else_branch = if self.eat(&TokenKind::KwElse) {
+                    self.branch_body()?
+                } else {
+                    Vec::new()
+                };
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                }
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.branch_body()?;
+                StmtKind::While { cond, body }
+            }
+            TokenKind::KwDo => {
+                self.bump();
+                let body = self.branch_body()?;
+                self.expect(&TokenKind::KwWhile)?;
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::DoWhile { body, cond }
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let init = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(&TokenKind::Semi)?;
+                let cond = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                let step = if self.peek() == &TokenKind::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(&TokenKind::RParen)?;
+                let body = self.branch_body()?;
+                StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                }
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Return(value)
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Break
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Continue
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let body = self.stmt_list()?;
+                self.expect(&TokenKind::RBrace)?;
+                StmtKind::Block(body)
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi)?;
+                s.kind
+            }
+        };
+        Ok(Stmt { kind, line })
+    }
+
+    /// A branch body: either a block or a single statement (wrapped in
+    /// a one-element vector).
+    fn branch_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.eat(&TokenKind::LBrace) {
+            let body = self.stmt_list()?;
+            self.expect(&TokenKind::RBrace)?;
+            Ok(body)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.expect(&TokenKind::KwInt)?;
+        let (name, _) = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let len = self.expect_int()?;
+            if len <= 0 {
+                return Err(self.error("array length must be positive".into()));
+            }
+            self.expect(&TokenKind::RBracket)?;
+            Ok(StmtKind::ArrayDecl {
+                name,
+                len: len as u32,
+            })
+        } else {
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            Ok(StmtKind::Decl { name, init })
+        }
+    }
+
+    /// A "simple" statement: assignment (plain or compound), `++`/`--`,
+    /// array store, declaration, or expression statement. Used both for
+    /// regular statements and for `for` init/step clauses. Does not
+    /// consume the trailing `;`.
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        if self.peek() == &TokenKind::KwInt {
+            let kind = self.decl_stmt()?;
+            return Ok(Stmt { kind, line });
+        }
+        // Lookahead for `ident =`, `ident op=`, `ident ++`, `ident [`.
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            let next = self.peek2().clone();
+            let compound = compound_op(&next);
+            if next == TokenKind::Assign || compound.is_some() {
+                self.bump();
+                self.bump();
+                let rhs = self.expr()?;
+                let value = match compound {
+                    Some(op) => Expr {
+                        kind: ExprKind::Binary {
+                            op,
+                            lhs: Box::new(Expr {
+                                kind: ExprKind::Var(name.clone()),
+                                line,
+                            }),
+                            rhs: Box::new(rhs),
+                        },
+                        line,
+                    },
+                    None => rhs,
+                };
+                return Ok(Stmt {
+                    kind: StmtKind::Assign { name, value },
+                    line,
+                });
+            }
+            if next == TokenKind::PlusPlus || next == TokenKind::MinusMinus {
+                self.bump();
+                self.bump();
+                let op = if next == TokenKind::PlusPlus {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
+                let value = Expr {
+                    kind: ExprKind::Binary {
+                        op,
+                        lhs: Box::new(Expr {
+                            kind: ExprKind::Var(name.clone()),
+                            line,
+                        }),
+                        rhs: Box::new(Expr {
+                            kind: ExprKind::Int(1),
+                            line,
+                        }),
+                    },
+                    line,
+                };
+                return Ok(Stmt {
+                    kind: StmtKind::Assign { name, value },
+                    line,
+                });
+            }
+            if next == TokenKind::LBracket && !matches!(self.peek3(), TokenKind::RBracket) {
+                // Could be a store `a[i] = e` or an expression `a[i] + ...`;
+                // parse the index and decide on the following token.
+                let save = self.pos;
+                self.bump();
+                self.bump();
+                let index = self.expr()?;
+                self.expect(&TokenKind::RBracket)?;
+                let compound = compound_op(self.peek());
+                if self.peek() == &TokenKind::Assign || compound.is_some() {
+                    self.bump();
+                    let rhs = self.expr()?;
+                    let value = match compound {
+                        Some(op) => Expr {
+                            kind: ExprKind::Binary {
+                                op,
+                                lhs: Box::new(Expr {
+                                    kind: ExprKind::Index {
+                                        name: name.clone(),
+                                        index: Box::new(index.clone()),
+                                    },
+                                    line,
+                                }),
+                                rhs: Box::new(rhs),
+                            },
+                            line,
+                        },
+                        None => rhs,
+                    };
+                    return Ok(Stmt {
+                        kind: StmtKind::Store { name, index, value },
+                        line,
+                    });
+                }
+                // Not a store: rewind and fall through to expression stmt.
+                self.pos = save;
+            }
+        }
+        let e = self.expr()?;
+        Ok(Stmt {
+            kind: StmtKind::ExprStmt(e),
+            line,
+        })
+    }
+
+    // Expression parsing by precedence climbing.
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.logical_or()?;
+        if self.eat(&TokenKind::Question) {
+            let line = cond.line;
+            let then_val = self.expr()?;
+            self.expect(&TokenKind::Colon)?;
+            let else_val = self.ternary()?;
+            Ok(Expr {
+                kind: ExprKind::Ternary {
+                    cond: Box::new(cond),
+                    then_val: Box::new(then_val),
+                    else_val: Box::new(else_val),
+                },
+                line,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.logical_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let line = lhs.line;
+            let rhs = self.logical_and()?;
+            lhs = Expr {
+                kind: ExprKind::LogicalOr {
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_or()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let line = lhs.line;
+            let rhs = self.bit_or()?;
+            lhs = Expr {
+                kind: ExprKind::LogicalAnd {
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::Pipe, BinOp::Or)], Self::bit_xor)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::Caret, BinOp::Xor)], Self::bit_and)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::Amp, BinOp::And)], Self::equality)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[(TokenKind::EqEq, BinOp::Eq), (TokenKind::Ne, BinOp::Ne)],
+            Self::relational,
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Gt, BinOp::Gt),
+                (TokenKind::Ge, BinOp::Ge),
+            ],
+            Self::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[(TokenKind::Shl, BinOp::Shl), (TokenKind::Shr, BinOp::Shr)],
+            Self::additive,
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            Self::multiplicative,
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Percent, BinOp::Rem),
+            ],
+            Self::unary,
+        )
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(TokenKind, BinOp)],
+        next: fn(&mut Self) -> Result<Expr, ParseError>,
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.peek() == tok {
+                    self.bump();
+                    let line = lhs.line;
+                    let rhs = next(self)?;
+                    lhs = Expr {
+                        kind: ExprKind::Binary {
+                            op: *op,
+                            lhs: Box::new(lhs),
+                            rhs: Box::new(rhs),
+                        },
+                        line,
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Bang => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                },
+                line,
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Int(v),
+                    line,
+                })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    TokenKind::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if self.peek() != &TokenKind::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr {
+                            kind: ExprKind::Call { callee: name, args },
+                            line,
+                        })
+                    }
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        Ok(Expr {
+                            kind: ExprKind::Index {
+                                name,
+                                index: Box::new(index),
+                            },
+                            line,
+                        })
+                    }
+                    _ => Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        line,
+                    }),
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+fn compound_op(kind: &TokenKind) -> Option<BinOp> {
+    Some(match kind {
+        TokenKind::PlusAssign => BinOp::Add,
+        TokenKind::MinusAssign => BinOp::Sub,
+        TokenKind::StarAssign => BinOp::Mul,
+        TokenKind::SlashAssign => BinOp::Div,
+        TokenKind::PercentAssign => BinOp::Rem,
+        TokenKind::AmpAssign => BinOp::And,
+        TokenKind::PipeAssign => BinOp::Or,
+        TokenKind::CaretAssign => BinOp::Xor,
+        TokenKind::ShlAssign => BinOp::Shl,
+        TokenKind::ShrAssign => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_fn(body: &str) -> Function {
+        let src = format!("int f() {{\n{body}\n}}\n");
+        let prog = parse(&src).unwrap();
+        match prog.items.into_iter().next().unwrap() {
+            Item::Function(f) => f,
+            _ => panic!("expected function"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_function() {
+        let f = parse_fn("int x = 1;\nreturn x + 2;");
+        assert_eq!(f.name, "f");
+        assert_eq!(f.body.len(), 2);
+        assert!(matches!(f.body[0].kind, StmtKind::Decl { .. }));
+        assert!(matches!(f.body[1].kind, StmtKind::Return(Some(_))));
+    }
+
+    #[test]
+    fn compound_assign_desugars() {
+        let f = parse_fn("int x = 1;\nx += 5;");
+        match &f.body[1].kind {
+            StmtKind::Assign { name, value } => {
+                assert_eq!(name, "x");
+                assert!(matches!(
+                    value.kind,
+                    ExprKind::Binary { op: BinOp::Add, .. }
+                ));
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn increment_desugars() {
+        let f = parse_fn("int i = 0;\ni++;");
+        assert!(matches!(f.body[1].kind, StmtKind::Assign { .. }));
+    }
+
+    #[test]
+    fn array_store_and_load() {
+        let f = parse_fn("int a[4];\na[2] = 7;\nreturn a[2];");
+        assert!(matches!(f.body[0].kind, StmtKind::ArrayDecl { len: 4, .. }));
+        assert!(matches!(f.body[1].kind, StmtKind::Store { .. }));
+    }
+
+    #[test]
+    fn array_compound_store() {
+        let f = parse_fn("int a[4];\na[1] += 3;");
+        match &f.body[1].kind {
+            StmtKind::Store { value, .. } => {
+                assert!(matches!(
+                    value.kind,
+                    ExprKind::Binary { op: BinOp::Add, .. }
+                ));
+            }
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let f = parse_fn("return 1 + 2 * 3;");
+        match &f.body[0].kind {
+            StmtKind::Return(Some(e)) => match &e.kind {
+                ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("expected add at top, got {other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn short_circuit_and_ternary() {
+        let f = parse_fn("return a && b || c ? 1 : 2;");
+        assert!(matches!(
+            &f.body[0].kind,
+            StmtKind::Return(Some(Expr {
+                kind: ExprKind::Ternary { .. },
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn for_loop_with_all_clauses() {
+        let f = parse_fn("int s = 0;\nfor (int i = 0; i < 10; i++) { s += i; }\nreturn s;");
+        match &f.body[1].kind {
+            StmtKind::For {
+                init, cond, step, ..
+            } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert!(step.is_some());
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop_empty_clauses() {
+        let f = parse_fn("for (;;) { break; }");
+        assert!(matches!(
+            f.body[0].kind,
+            StmtKind::For {
+                init: None,
+                cond: None,
+                step: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn do_while() {
+        let f = parse_fn("int i = 0;\ndo { i++; } while (i < 3);");
+        assert!(matches!(f.body[1].kind, StmtKind::DoWhile { .. }));
+    }
+
+    #[test]
+    fn globals() {
+        let prog = parse("int g = 5;\nint buf[16];\nint main() { return g; }").unwrap();
+        let globals: Vec<_> = prog.globals().collect();
+        assert_eq!(globals.len(), 2);
+        assert_eq!(globals[0].init, 5);
+        assert_eq!(globals[1].array_len, Some(16));
+    }
+
+    #[test]
+    fn negative_global_init() {
+        let prog = parse("int g = -3;\nint main() { return g; }").unwrap();
+        assert_eq!(prog.globals().next().unwrap().init, -3);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("int f() {\nint x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn statement_lines_recorded() {
+        let f = parse_fn("int x = 1;\nint y = 2;\nreturn x + y;");
+        assert_eq!(f.body[0].line, 2);
+        assert_eq!(f.body[1].line, 3);
+        assert_eq!(f.body[2].line, 4);
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let f = parse_fn("int x = 1;\n{\nint y = 2;\nx = y;\n}\nreturn x;");
+        assert!(matches!(f.body[1].kind, StmtKind::Block(_)));
+    }
+
+    #[test]
+    fn single_statement_branches() {
+        let f = parse_fn("int x = 0;\nif (x) x = 1; else x = 2;\nwhile (x) x--;");
+        assert!(matches!(f.body[1].kind, StmtKind::If { .. }));
+        assert!(matches!(f.body[2].kind, StmtKind::While { .. }));
+    }
+
+    #[test]
+    fn expr_stmt_with_index_read_is_not_store() {
+        // `f(a[0]);` must not be parsed as a store.
+        let f = parse_fn("int a[2];\nout(a[0]);");
+        assert!(matches!(f.body[1].kind, StmtKind::ExprStmt(_)));
+    }
+
+    #[test]
+    fn call_args() {
+        let f = parse_fn("return g(1, 2 + 3, h());");
+        match &f.body[0].kind {
+            StmtKind::Return(Some(Expr {
+                kind: ExprKind::Call { callee, args },
+                ..
+            })) => {
+                assert_eq!(callee, "g");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+}

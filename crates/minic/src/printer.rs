@@ -1,0 +1,340 @@
+//! Pretty-printer that renders an AST back to MiniC source.
+//!
+//! Used by the synthetic program generator (emit AST, print, re-parse)
+//! and by tests as a round-trip oracle. The printer emits one statement
+//! per line, so the printed text has well-defined statement lines; note
+//! that printing does **not** preserve the original line numbers — call
+//! sites that care re-parse the printed source.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a full program as MiniC source text.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for item in &program.items {
+        match item {
+            Item::Global(g) => {
+                if let Some(len) = g.array_len {
+                    let _ = writeln!(out, "int {}[{}];", g.name, len);
+                } else if g.init != 0 {
+                    let _ = writeln!(out, "int {} = {};", g.name, g.init);
+                } else {
+                    let _ = writeln!(out, "int {};", g.name);
+                }
+            }
+            Item::Function(f) => {
+                let params: Vec<String> =
+                    f.params.iter().map(|p| format!("int {}", p.name)).collect();
+                let _ = writeln!(out, "int {}({}) {{", f.name, params.join(", "));
+                print_stmts(&mut out, &f.body, 1);
+                let _ = writeln!(out, "}}");
+            }
+        }
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmts(out: &mut String, stmts: &[Stmt], depth: usize) {
+    for stmt in stmts {
+        print_stmt(out, stmt, depth);
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match &stmt.kind {
+        StmtKind::Decl { name, init } => match init {
+            Some(e) => {
+                let _ = writeln!(out, "int {} = {};", name, print_expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "int {};", name);
+            }
+        },
+        StmtKind::ArrayDecl { name, len } => {
+            let _ = writeln!(out, "int {}[{}];", name, len);
+        }
+        StmtKind::Assign { name, value } => {
+            let _ = writeln!(out, "{} = {};", name, print_expr(value));
+        }
+        StmtKind::Store { name, index, value } => {
+            let _ = writeln!(out, "{}[{}] = {};", name, print_expr(index), print_expr(value));
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            print_stmts(out, then_branch, depth + 1);
+            if else_branch.is_empty() {
+                indent(out, depth);
+                out.push_str("}\n");
+            } else {
+                indent(out, depth);
+                out.push_str("} else {\n");
+                print_stmts(out, else_branch, depth + 1);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            print_stmts(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        StmtKind::DoWhile { body, cond } => {
+            out.push_str("do {\n");
+            print_stmts(out, body, depth + 1);
+            indent(out, depth);
+            let _ = writeln!(out, "}} while ({});", print_expr(cond));
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let init_s = init.as_deref().map(print_simple_stmt).unwrap_or_default();
+            let cond_s = cond.as_ref().map(print_expr).unwrap_or_default();
+            let step_s = step.as_deref().map(print_simple_stmt).unwrap_or_default();
+            let _ = writeln!(out, "for ({init_s}; {cond_s}; {step_s}) {{");
+            print_stmts(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        StmtKind::Return(v) => match v {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", print_expr(e));
+            }
+            None => out.push_str("return;\n"),
+        },
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+        StmtKind::ExprStmt(e) => {
+            let _ = writeln!(out, "{};", print_expr(e));
+        }
+        StmtKind::Block(body) => {
+            out.push_str("{\n");
+            print_stmts(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Prints a statement without trailing `;`/newline, for `for` headers.
+fn print_simple_stmt(stmt: &Stmt) -> String {
+    match &stmt.kind {
+        StmtKind::Decl { name, init } => match init {
+            Some(e) => format!("int {} = {}", name, print_expr(e)),
+            None => format!("int {name}"),
+        },
+        StmtKind::Assign { name, value } => format!("{} = {}", name, print_expr(value)),
+        StmtKind::Store { name, index, value } => {
+            format!("{}[{}] = {}", name, print_expr(index), print_expr(value))
+        }
+        StmtKind::ExprStmt(e) => print_expr(e),
+        other => panic!("statement kind not valid in a for header: {other:?}"),
+    }
+}
+
+/// Prints an expression with full parenthesization (safe, if verbose).
+pub fn print_expr(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Int(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        ExprKind::Var(name) => name.clone(),
+        ExprKind::Index { name, index } => format!("{}[{}]", name, print_expr(index)),
+        ExprKind::Unary { op, operand } => format!("({}{})", op.symbol(), print_expr(operand)),
+        ExprKind::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", print_expr(lhs), op.symbol(), print_expr(rhs))
+        }
+        ExprKind::LogicalAnd { lhs, rhs } => {
+            format!("({} && {})", print_expr(lhs), print_expr(rhs))
+        }
+        ExprKind::LogicalOr { lhs, rhs } => {
+            format!("({} || {})", print_expr(lhs), print_expr(rhs))
+        }
+        ExprKind::Ternary {
+            cond,
+            then_val,
+            else_val,
+        } => format!(
+            "({} ? {} : {})",
+            print_expr(cond),
+            print_expr(then_val),
+            print_expr(else_val)
+        ),
+        ExprKind::Call { callee, args } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{}({})", callee, args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Round-trip: print then re-parse must produce a structurally
+    /// equivalent program (ignoring line numbers).
+    fn strip_lines_program(p: &mut Program) {
+        for item in &mut p.items {
+            match item {
+                Item::Global(g) => g.line = 0,
+                Item::Function(f) => {
+                    f.line = 0;
+                    f.end_line = 0;
+                    for p in &mut f.params {
+                        p.line = 0;
+                    }
+                    strip_lines_stmts(&mut f.body);
+                }
+            }
+        }
+    }
+
+    fn strip_lines_stmts(stmts: &mut [Stmt]) {
+        for s in stmts {
+            s.line = 0;
+            match &mut s.kind {
+                StmtKind::Decl { init, .. } => {
+                    if let Some(e) = init {
+                        strip_lines_expr(e);
+                    }
+                }
+                StmtKind::Assign { value, .. } => strip_lines_expr(value),
+                StmtKind::Store { index, value, .. } => {
+                    strip_lines_expr(index);
+                    strip_lines_expr(value);
+                }
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    strip_lines_expr(cond);
+                    strip_lines_stmts(then_branch);
+                    strip_lines_stmts(else_branch);
+                }
+                StmtKind::While { cond, body } | StmtKind::DoWhile { cond, body } => {
+                    strip_lines_expr(cond);
+                    strip_lines_stmts(body);
+                }
+                StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
+                    if let Some(s) = init {
+                        strip_lines_stmts(std::slice::from_mut(&mut **s));
+                    }
+                    if let Some(c) = cond {
+                        strip_lines_expr(c);
+                    }
+                    if let Some(s) = step {
+                        strip_lines_stmts(std::slice::from_mut(&mut **s));
+                    }
+                    strip_lines_stmts(body);
+                }
+                StmtKind::Return(Some(e)) => strip_lines_expr(e),
+                StmtKind::ExprStmt(e) => strip_lines_expr(e),
+                StmtKind::Block(body) => strip_lines_stmts(body),
+                _ => {}
+            }
+        }
+    }
+
+    fn strip_lines_expr(e: &mut Expr) {
+        e.line = 0;
+        match &mut e.kind {
+            ExprKind::Index { index, .. } => strip_lines_expr(index),
+            ExprKind::Unary { operand, .. } => strip_lines_expr(operand),
+            ExprKind::Binary { lhs, rhs, .. }
+            | ExprKind::LogicalAnd { lhs, rhs }
+            | ExprKind::LogicalOr { lhs, rhs } => {
+                strip_lines_expr(lhs);
+                strip_lines_expr(rhs);
+            }
+            ExprKind::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                strip_lines_expr(cond);
+                strip_lines_expr(then_val);
+                strip_lines_expr(else_val);
+            }
+            ExprKind::Call { args, .. } => args.iter_mut().for_each(strip_lines_expr),
+            _ => {}
+        }
+    }
+
+    fn roundtrip(src: &str) {
+        let mut p1 = parse(src).unwrap();
+        let printed = print_program(&p1);
+        let mut p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        strip_lines_program(&mut p1);
+        strip_lines_program(&mut p2);
+        assert_eq!(p1, p2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrip(
+            "int g = 3;\nint tab[4];\nint f(int a, int b) {\n\
+             int x = a * b + 1;\nif (x > 0) { x = x - 1; } else { x = 0; }\n\
+             while (x) { x /= 2; }\nreturn x;\n}",
+        );
+    }
+
+    #[test]
+    fn roundtrip_for_and_ternary() {
+        roundtrip(
+            "int f(int n) {\nint s = 0;\nfor (int i = 0; i < n; i++) {\n\
+             s += i > 2 ? i : -i;\n}\nreturn s;\n}",
+        );
+    }
+
+    #[test]
+    fn roundtrip_logical_and_calls() {
+        roundtrip(
+            "int h(int v) { return v; }\nint f() {\n\
+             int a = in(0);\nint b = in(1);\n\
+             if (a && b || !a) { out(h(a)); }\nreturn a | b;\n}",
+        );
+    }
+
+    #[test]
+    fn roundtrip_do_while_and_arrays() {
+        roundtrip(
+            "int f() {\nint buf[8];\nint i = 0;\ndo {\nbuf[i] = i * i;\ni++;\n} \
+             while (i < 8);\nreturn buf[7];\n}",
+        );
+    }
+
+    #[test]
+    fn negative_literal_parenthesized() {
+        let e = Expr {
+            kind: ExprKind::Int(-5),
+            line: 1,
+        };
+        assert_eq!(print_expr(&e), "(-5)");
+    }
+}

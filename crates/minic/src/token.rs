@@ -1,0 +1,189 @@
+//! Token definitions for the MiniC lexer.
+
+use std::fmt;
+
+/// A lexical token together with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// The kinds of MiniC tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    Int(i64),
+    Ident(String),
+
+    // Keywords.
+    KwInt,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Question,
+    Colon,
+
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `word`, if it is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "int" => TokenKind::KwInt,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "do" => TokenKind::KwDo,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable description used in diagnostics.
+    pub fn describe(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Int(_) => "integer literal",
+            Ident(_) => "identifier",
+            KwInt => "`int`",
+            KwIf => "`if`",
+            KwElse => "`else`",
+            KwWhile => "`while`",
+            KwDo => "`do`",
+            KwFor => "`for`",
+            KwReturn => "`return`",
+            KwBreak => "`break`",
+            KwContinue => "`continue`",
+            LParen => "`(`",
+            RParen => "`)`",
+            LBrace => "`{`",
+            RBrace => "`}`",
+            LBracket => "`[`",
+            RBracket => "`]`",
+            Semi => "`;`",
+            Comma => "`,`",
+            Question => "`?`",
+            Colon => "`:`",
+            Plus => "`+`",
+            Minus => "`-`",
+            Star => "`*`",
+            Slash => "`/`",
+            Percent => "`%`",
+            Amp => "`&`",
+            Pipe => "`|`",
+            Caret => "`^`",
+            Tilde => "`~`",
+            Bang => "`!`",
+            Shl => "`<<`",
+            Shr => "`>>`",
+            Lt => "`<`",
+            Le => "`<=`",
+            Gt => "`>`",
+            Ge => "`>=`",
+            EqEq => "`==`",
+            Ne => "`!=`",
+            AndAnd => "`&&`",
+            OrOr => "`||`",
+            Assign => "`=`",
+            PlusAssign => "`+=`",
+            MinusAssign => "`-=`",
+            StarAssign => "`*=`",
+            SlashAssign => "`/=`",
+            PercentAssign => "`%=`",
+            AmpAssign => "`&=`",
+            PipeAssign => "`|=`",
+            CaretAssign => "`^=`",
+            ShlAssign => "`<<=`",
+            ShrAssign => "`>>=`",
+            PlusPlus => "`++`",
+            MinusMinus => "`--`",
+            Eof => "end of input",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            other => write!(f, "{}", other.describe()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("int"), Some(TokenKind::KwInt));
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("intx"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+    }
+
+    #[test]
+    fn display_literals() {
+        assert_eq!(TokenKind::Int(42).to_string(), "42");
+        assert_eq!(TokenKind::Ident("foo".into()).to_string(), "foo");
+        assert_eq!(TokenKind::Shl.to_string(), "`<<`");
+    }
+}

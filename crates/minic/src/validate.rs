@@ -1,0 +1,412 @@
+//! Semantic validation of a parsed MiniC program.
+//!
+//! Checks performed:
+//! * no duplicate function or global names,
+//! * no variable *shadowing* (redeclaring a name while a variable of
+//!   that name is still in scope) — reusing a name in disjoint sibling
+//!   scopes is fine, as in C; at any source line at most one variable
+//!   of a given name is in scope, which keeps the per-line
+//!   debug-information comparison unambiguous,
+//! * every used variable is declared, with arrays and scalars used
+//!   consistently,
+//! * every called function exists (or is a builtin) and is called with
+//!   the right arity,
+//! * `break`/`continue` appear only inside loops.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A semantic error in a MiniC program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// The I/O builtins every MiniC program may call, with their arities.
+pub const BUILTINS: &[(&str, usize)] = &[("in", 1), ("in_len", 0), ("out", 1)];
+
+/// Returns the arity of a builtin, if `name` is one.
+pub fn builtin_arity(name: &str) -> Option<usize> {
+    BUILTINS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, arity)| *arity)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum VarClass {
+    Scalar,
+    Array,
+}
+
+/// Validates `program`, returning the first semantic error found.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    let mut func_arity: HashMap<&str, usize> = HashMap::new();
+    let mut global_class: HashMap<&str, VarClass> = HashMap::new();
+
+    for item in &program.items {
+        match item {
+            Item::Function(f) => {
+                if builtin_arity(&f.name).is_some() {
+                    return Err(err(f.line, format!("function `{}` shadows a builtin", f.name)));
+                }
+                if func_arity.insert(&f.name, f.params.len()).is_some() {
+                    return Err(err(f.line, format!("duplicate function `{}`", f.name)));
+                }
+            }
+            Item::Global(g) => {
+                let class = if g.array_len.is_some() {
+                    VarClass::Array
+                } else {
+                    VarClass::Scalar
+                };
+                if global_class.insert(&g.name, class).is_some() {
+                    return Err(err(g.line, format!("duplicate global `{}`", g.name)));
+                }
+            }
+        }
+    }
+
+    for f in program.functions() {
+        let mut checker = FuncChecker {
+            func_arity: &func_arity,
+            global_class: &global_class,
+            locals: HashMap::new(),
+            loop_depth: 0,
+        };
+        for p in &f.params {
+            if checker
+                .locals
+                .insert(p.name.clone(), VarClass::Scalar)
+                .is_some()
+            {
+                return Err(err(p.line, format!("duplicate parameter `{}`", p.name)));
+            }
+        }
+        checker.check_block(&f.body)?;
+    }
+    Ok(())
+}
+
+fn err(line: u32, message: String) -> ValidateError {
+    ValidateError { line, message }
+}
+
+struct FuncChecker<'a> {
+    func_arity: &'a HashMap<&'a str, usize>,
+    global_class: &'a HashMap<&'a str, VarClass>,
+    /// Variables currently in scope (locals and params).
+    locals: HashMap<String, VarClass>,
+    loop_depth: u32,
+}
+
+impl FuncChecker<'_> {
+    fn check_block(&mut self, stmts: &[Stmt]) -> Result<(), ValidateError> {
+        // Names declared in this block, removed from scope on exit.
+        let mut block_decls: Vec<String> = Vec::new();
+        for stmt in stmts {
+            self.check_stmt(stmt, &mut block_decls)?;
+        }
+        for name in block_decls {
+            self.locals.remove(&name);
+        }
+        Ok(())
+    }
+
+    fn declare(
+        &mut self,
+        name: &str,
+        class: VarClass,
+        line: u32,
+        block_decls: &mut Vec<String>,
+    ) -> Result<(), ValidateError> {
+        if self.locals.contains_key(name) {
+            return Err(err(
+                line,
+                format!("variable `{name}` shadows or redeclares an existing variable"),
+            ));
+        }
+        self.locals.insert(name.to_owned(), class);
+        block_decls.push(name.to_owned());
+        Ok(())
+    }
+
+    fn class_of(&self, name: &str) -> Option<VarClass> {
+        self.locals
+            .get(name)
+            .copied()
+            .or_else(|| self.global_class.get(name).copied())
+    }
+
+    fn check_stmt(
+        &mut self,
+        stmt: &Stmt,
+        block_decls: &mut Vec<String>,
+    ) -> Result<(), ValidateError> {
+        let line = stmt.line;
+        match &stmt.kind {
+            StmtKind::Decl { name, init } => {
+                if let Some(e) = init {
+                    self.check_expr(e)?;
+                }
+                self.declare(name, VarClass::Scalar, line, block_decls)?;
+            }
+            StmtKind::ArrayDecl { name, .. } => {
+                self.declare(name, VarClass::Array, line, block_decls)?;
+            }
+            StmtKind::Assign { name, value } => {
+                match self.class_of(name) {
+                    Some(VarClass::Scalar) => {}
+                    Some(VarClass::Array) => {
+                        return Err(err(line, format!("cannot assign to array `{name}`")))
+                    }
+                    None => return Err(err(line, format!("undeclared variable `{name}`"))),
+                }
+                self.check_expr(value)?;
+            }
+            StmtKind::Store { name, index, value } => {
+                match self.class_of(name) {
+                    Some(VarClass::Array) => {}
+                    Some(VarClass::Scalar) => {
+                        return Err(err(line, format!("`{name}` is not an array")))
+                    }
+                    None => return Err(err(line, format!("undeclared variable `{name}`"))),
+                }
+                self.check_expr(index)?;
+                self.check_expr(value)?;
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.check_expr(cond)?;
+                self.check_block(then_branch)?;
+                self.check_block(else_branch)?;
+            }
+            StmtKind::While { cond, body } => {
+                self.check_expr(cond)?;
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                self.loop_depth -= 1;
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                self.loop_depth -= 1;
+                self.check_expr(cond)?;
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // The `for` header introduces its own scope.
+                let mut header_decls = Vec::new();
+                if let Some(s) = init {
+                    self.check_stmt(s, &mut header_decls)?;
+                }
+                if let Some(c) = cond {
+                    self.check_expr(c)?;
+                }
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                if let Some(s) = step {
+                    let mut step_decls = Vec::new();
+                    self.check_stmt(s, &mut step_decls)?;
+                }
+                self.loop_depth -= 1;
+                for name in header_decls {
+                    self.locals.remove(&name);
+                }
+            }
+            StmtKind::Return(value) => {
+                if let Some(e) = value {
+                    self.check_expr(e)?;
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(err(line, "`break`/`continue` outside of a loop".into()));
+                }
+            }
+            StmtKind::ExprStmt(e) => self.check_expr(e)?,
+            StmtKind::Block(body) => self.check_block(body)?,
+        }
+        Ok(())
+    }
+
+    fn check_expr(&self, expr: &Expr) -> Result<(), ValidateError> {
+        let line = expr.line;
+        match &expr.kind {
+            ExprKind::Int(_) => Ok(()),
+            ExprKind::Var(name) => match self.class_of(name) {
+                Some(VarClass::Scalar) => Ok(()),
+                Some(VarClass::Array) => {
+                    Err(err(line, format!("array `{name}` used without an index")))
+                }
+                None => Err(err(line, format!("undeclared variable `{name}`"))),
+            },
+            ExprKind::Index { name, index } => {
+                match self.class_of(name) {
+                    Some(VarClass::Array) => {}
+                    Some(VarClass::Scalar) => {
+                        return Err(err(line, format!("`{name}` is not an array")))
+                    }
+                    None => return Err(err(line, format!("undeclared variable `{name}`"))),
+                }
+                self.check_expr(index)
+            }
+            ExprKind::Unary { operand, .. } => self.check_expr(operand),
+            ExprKind::Binary { lhs, rhs, .. }
+            | ExprKind::LogicalAnd { lhs, rhs }
+            | ExprKind::LogicalOr { lhs, rhs } => {
+                self.check_expr(lhs)?;
+                self.check_expr(rhs)
+            }
+            ExprKind::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                self.check_expr(cond)?;
+                self.check_expr(then_val)?;
+                self.check_expr(else_val)
+            }
+            ExprKind::Call { callee, args } => {
+                let arity = builtin_arity(callee)
+                    .or_else(|| self.func_arity.get(callee.as_str()).copied());
+                match arity {
+                    Some(n) if n == args.len() => {}
+                    Some(n) => {
+                        return Err(err(
+                            line,
+                            format!(
+                                "`{callee}` expects {n} argument(s), got {}",
+                                args.len()
+                            ),
+                        ))
+                    }
+                    None => return Err(err(line, format!("call to undefined function `{callee}`"))),
+                }
+                for a in args {
+                    self.check_expr(a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<(), ValidateError> {
+        validate(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        check(
+            "int g = 1;\nint add(int a, int b) { return a + b; }\n\
+             int main() { int x = add(g, 2); out(x); return 0; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = check("int f() { return x; }").unwrap_err();
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_shadowing() {
+        let e = check("int f() { int x = 1; { int x = 2; out(x); } return x; }").unwrap_err();
+        assert!(e.message.contains("shadows"));
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        let e = check("int f() { return 0; }\nint f() { return 1; }").unwrap_err();
+        assert!(e.message.contains("duplicate function"));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let e = check("int g(int a) { return a; }\nint f() { return g(1, 2); }").unwrap_err();
+        assert!(e.message.contains("expects 1"));
+    }
+
+    #[test]
+    fn rejects_unknown_call() {
+        let e = check("int f() { return missing(); }").unwrap_err();
+        assert!(e.message.contains("undefined function"));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let e = check("int f() { break; return 0; }").unwrap_err();
+        assert!(e.message.contains("outside of a loop"));
+    }
+
+    #[test]
+    fn accepts_break_inside_loop() {
+        check("int f() { while (1) { break; } return 0; }").unwrap();
+    }
+
+    #[test]
+    fn rejects_scalar_indexed() {
+        let e = check("int f() { int x = 1; return x[0]; }").unwrap_err();
+        assert!(e.message.contains("not an array"));
+    }
+
+    #[test]
+    fn rejects_array_without_index() {
+        let e = check("int f() { int a[4]; return a; }").unwrap_err();
+        assert!(e.message.contains("without an index"));
+    }
+
+    #[test]
+    fn block_scoping_allows_use_after_block_end_to_fail() {
+        let e = check("int f() { { int y = 1; out(y); } return y; }").unwrap_err();
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn for_header_variable_scoped_to_loop() {
+        let e = check("int f() { for (int i = 0; i < 3; i++) { out(i); } return i; }").unwrap_err();
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn builtins_have_fixed_arity() {
+        let e = check("int f() { return in(); }").unwrap_err();
+        assert!(e.message.contains("expects 1"));
+        check("int f() { return in(0) + in_len(); }").unwrap();
+    }
+
+    #[test]
+    fn rejects_builtin_shadowing_function() {
+        let e = check("int out(int v) { return v; }").unwrap_err();
+        assert!(e.message.contains("builtin"));
+    }
+
+    #[test]
+    fn globals_usable_in_functions() {
+        check("int tab[8];\nint f() { tab[0] = 1; return tab[0]; }").unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! The middle-end pass implementations.
+//!
+//! Every pass documents its debug-information policy alongside its
+//! transformation; the shared salvage/drop machinery lives in
+//! [`util`].
+
+pub mod branch_prob;
+pub mod copycoalesce;
+pub mod cse;
+pub mod dce;
+pub mod dse;
+pub mod gvn;
+pub mod inline;
+pub mod instcombine;
+pub mod ipa_pure_const;
+pub mod jump_threading;
+pub mod licm;
+pub mod loop_rotate;
+pub mod mem2reg;
+pub mod loop_unroll;
+pub mod lsr;
+pub mod simplifycfg;
+pub mod sink;
+pub mod slp;
+pub mod util;

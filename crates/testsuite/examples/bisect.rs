@@ -1,0 +1,24 @@
+use dt_passes::{compile_source, pipeline_pass_names, CompileOptions, OptLevel, PassGate, Personality};
+
+fn run(obj: &dt_machine::Object, entry: &str, input: &[u8]) -> (i64, Vec<i64>) {
+    let r = dt_vm::Vm::run_to_completion(obj, entry, &[], input, dt_vm::VmConfig { max_steps: 10_000_000, ..Default::default() }).unwrap();
+    (r.ret, r.output)
+}
+
+fn main() {
+    let src = dt_testsuite::synth::generate(2, &dt_testsuite::synth::SynthConfig::default());
+    let entry = "fuzz_main";
+    let input: &[u8] = &[2, 3];
+    let o0 = compile_source(&src, &CompileOptions::new(Personality::Gcc, OptLevel::O0)).unwrap();
+    let expect = run(&o0, entry, input);
+    println!("baseline: {:?}", expect);
+    let o3 = compile_source(&src, &CompileOptions::new(Personality::Gcc, OptLevel::O3)).unwrap();
+    println!("O3:       {:?}", run(&o3, entry, input));
+    for name in pipeline_pass_names(Personality::Gcc, OptLevel::O3) {
+        let mut opts = CompileOptions::new(Personality::Gcc, OptLevel::O3);
+        opts.gate = PassGate::disabling([name]);
+        let obj = compile_source(&src, &opts).unwrap();
+        let got = run(&obj, entry, input);
+        println!("{} -{name}: {:?}", if got == expect { "OK " } else { "BAD" }, got);
+    }
+}

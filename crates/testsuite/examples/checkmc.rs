@@ -1,0 +1,9 @@
+fn main() {
+    for entry in std::fs::read_dir("crates/testsuite/programs").unwrap() {
+        let p = entry.unwrap().path();
+        let src = std::fs::read_to_string(&p).unwrap();
+        if let Err(e) = dt_minic::compile_check(&src) {
+            println!("{}: {e}", p.display());
+        }
+    }
+}

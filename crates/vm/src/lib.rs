@@ -1,0 +1,721 @@
+//! The VISA virtual machine.
+//!
+//! Executes assembled [`dt_machine::Object`]s with a deterministic
+//! cycle model, so "performance" in the experiments is an exact number
+//! rather than wall-clock noise. The model rewards exactly the things
+//! the backend passes optimize:
+//!
+//! * per-op latencies (multiplies and divides are slow, memory slower
+//!   than ALU);
+//! * a **load-use stall** (+2) when an instruction consumes the result
+//!   of the immediately preceding load — what `schedule-insns2` hides;
+//! * a 2-bit **branch predictor** with a heavy misprediction penalty
+//!   and a +1 taken-branch (fetch-redirect) cost — what block layout
+//!   and if-conversion optimize;
+//! * call overhead proportional to frame size, with a shrink-wrapping
+//!   discount and a "far call" penalty that function reordering
+//!   (`toplevel-reorder`) can avoid;
+//! * SLP-fused pairs issue as one instruction.
+//!
+//! The VM also provides the observation hooks the rest of the
+//! framework needs: PC sampling (AutoFDO), edge coverage (fuzzing),
+//! and a single-step interface with register/frame/global state access
+//! (the debugger).
+
+pub mod coverage;
+
+pub use coverage::CoverageMap;
+
+use dt_dwarf::Location;
+use dt_machine::{FOp, Object};
+
+/// Run-time limits and observation switches.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Maximum executed instructions before a [`Halt::StepLimit`].
+    pub max_steps: u64,
+    /// Record the current PC every `n` cycles.
+    pub sample_interval: Option<u64>,
+    /// Record branch-outcome edge coverage.
+    pub collect_coverage: bool,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            max_steps: 200_000_000,
+            sample_interval: None,
+            collect_coverage: false,
+            max_depth: 512,
+        }
+    }
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Halt {
+    /// The entry function returned.
+    Finished,
+    /// The step budget was exhausted.
+    StepLimit,
+    /// A runtime fault (call-stack overflow, missing function, ...).
+    Trap(String),
+}
+
+/// The outcome of a completed run.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// The entry function's return value (0 on trap).
+    pub ret: i64,
+    pub cycles: u64,
+    pub steps: u64,
+    pub output: Vec<i64>,
+    /// Sampled PC addresses (when sampling was enabled).
+    pub samples: Vec<u32>,
+    /// Edge coverage (when enabled).
+    pub coverage: Option<CoverageMap>,
+    pub halt: Halt,
+}
+
+/// One call frame.
+#[derive(Debug, Clone)]
+struct Frame {
+    ret_pc: usize,
+    frame_base: usize,
+    saved_args: [i64; 8],
+    func: u32,
+}
+
+/// An executing VM instance. Use [`Vm::run_to_completion`] for plain
+/// runs, or [`Vm::step`] to drive execution instruction by instruction
+/// (the debugger does this to implement breakpoints).
+pub struct Vm<'a> {
+    obj: &'a Object,
+    config: VmConfig,
+    pc: usize,
+    regs: [i64; 8],
+    args: [i64; 8],
+    stack: Vec<i64>,
+    frames: Vec<Frame>,
+    globals: Vec<i64>,
+    input: &'a [u8],
+    pub output: Vec<i64>,
+    cycles: u64,
+    steps: u64,
+    next_sample: u64,
+    samples: Vec<u32>,
+    coverage: Option<CoverageMap>,
+    predictor: Vec<u8>,
+    /// Register defined by the previous instruction, when it was a load.
+    last_load_def: Option<u8>,
+    /// The next instruction's base cost is waived (SLP fusion).
+    fuse_next: bool,
+    halted: Option<Halt>,
+    current_func: u32,
+}
+
+impl<'a> Vm<'a> {
+    /// Creates a VM poised at the entry of function `entry` with the
+    /// given call arguments.
+    pub fn new(obj: &'a Object, entry: &str, args: &[i64], input: &'a [u8], config: VmConfig) -> Result<Self, String> {
+        let (fid, info) = obj
+            .func_by_name(entry)
+            .ok_or_else(|| format!("entry function `{entry}` not found"))?;
+        let mut arg_bank = [0i64; 8];
+        for (i, a) in args.iter().take(8).enumerate() {
+            arg_bank[i] = *a;
+        }
+        let mut globals = vec![0i64; obj.globals_size as usize];
+        for &(base, _size, init) in &obj.globals {
+            globals[base as usize] = init;
+        }
+        let frame_size = info.frame_size as usize;
+        let coverage = config
+            .collect_coverage
+            .then(|| CoverageMap::new(obj.code.len() * 2 + obj.funcs.len()));
+        let mut vm = Vm {
+            obj,
+            pc: info.start_index as usize,
+            regs: [0; 8],
+            args: arg_bank,
+            stack: vec![0; frame_size],
+            frames: vec![Frame {
+                ret_pc: usize::MAX,
+                frame_base: 0,
+                saved_args: [0; 8],
+                func: fid,
+            }],
+            globals,
+            input,
+            output: Vec::new(),
+            cycles: 0,
+            steps: 0,
+            next_sample: config.sample_interval.unwrap_or(u64::MAX),
+            samples: Vec::new(),
+            coverage,
+            predictor: vec![1; obj.code.len()],
+            last_load_def: None,
+            fuse_next: false,
+            halted: None,
+            current_func: fid,
+            config,
+        };
+        if let Some(cov) = &mut vm.coverage {
+            cov.set(obj.code.len() * 2 + fid as usize);
+        }
+        Ok(vm)
+    }
+
+    /// Convenience: run `entry(args...)` to completion.
+    pub fn run_to_completion(
+        obj: &'a Object,
+        entry: &str,
+        args: &[i64],
+        input: &'a [u8],
+        config: VmConfig,
+    ) -> Result<ExecResult, String> {
+        let mut vm = Vm::new(obj, entry, args, input, config)?;
+        while vm.halted.is_none() {
+            vm.step();
+        }
+        Ok(vm.into_result())
+    }
+
+    /// The current instruction's byte address.
+    pub fn pc_addr(&self) -> u32 {
+        self.obj.addrs.get(self.pc).copied().unwrap_or(u32::MAX)
+    }
+
+    /// The current instruction index.
+    pub fn pc_index(&self) -> usize {
+        self.pc
+    }
+
+    /// Whether the VM has halted (and why).
+    pub fn halt_reason(&self) -> Option<&Halt> {
+        self.halted.as_ref()
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The module function id currently executing.
+    pub fn current_func(&self) -> u32 {
+        self.current_func
+    }
+
+    /// Reads a debug-info location against live machine state, as a
+    /// debugger would. Returns `None` if unreadable.
+    pub fn read_location(&self, loc: Location) -> Option<i64> {
+        match loc {
+            Location::Reg(r) => self.regs.get(r as usize).copied(),
+            Location::FrameSlot(off) => {
+                let base = self.frames.last()?.frame_base;
+                self.stack.get(base + off as usize).copied()
+            }
+            Location::Global(a) => self.globals.get(a as usize).copied(),
+            Location::Const(c) => Some(c),
+        }
+    }
+
+    /// Consumes the VM, producing the final [`ExecResult`].
+    pub fn into_result(self) -> ExecResult {
+        let halt = self.halted.unwrap_or(Halt::StepLimit);
+        ExecResult {
+            ret: if halt == Halt::Finished { self.regs[0] } else { 0 },
+            cycles: self.cycles,
+            steps: self.steps,
+            output: self.output,
+            samples: self.samples,
+            coverage: self.coverage,
+            halt,
+        }
+    }
+
+    fn trap(&mut self, msg: impl Into<String>) {
+        self.halted = Some(Halt::Trap(msg.into()));
+    }
+
+    fn charge(&mut self, base: u64) {
+        let cost = if self.fuse_next { 0 } else { base };
+        self.fuse_next = false;
+        self.cycles += cost;
+        while self.cycles >= self.next_sample {
+            self.samples.push(self.pc_addr());
+            self.next_sample += self.config.sample_interval.unwrap_or(u64::MAX).max(1);
+        }
+    }
+
+    /// Charges the load-use stall if this instruction consumes the
+    /// previous load's destination.
+    fn stall_if_uses(&mut self, used: &[u8]) {
+        if let Some(ld) = self.last_load_def {
+            if used.contains(&ld) {
+                self.cycles += 2;
+            }
+        }
+    }
+
+    fn wrap_index(ri: i64, len: u32) -> usize {
+        (ri.rem_euclid(len as i64)) as usize
+    }
+
+    fn record_branch(&mut self, inst_idx: usize, taken: bool) {
+        if let Some(cov) = &mut self.coverage {
+            cov.set(inst_idx * 2 + taken as usize);
+        }
+    }
+
+    /// Executes one instruction. Does nothing once halted.
+    pub fn step(&mut self) {
+        if self.halted.is_some() {
+            return;
+        }
+        if self.steps >= self.config.max_steps {
+            self.halted = Some(Halt::StepLimit);
+            return;
+        }
+        let Some(inst) = self.obj.code.get(self.pc) else {
+            self.trap(format!("pc {} out of code", self.pc));
+            return;
+        };
+        self.steps += 1;
+        let fused = inst.fused;
+        let mut next_pc = self.pc + 1;
+        let mut new_load_def: Option<u8> = None;
+
+        match &inst.op {
+            FOp::Dbg { .. } => {
+                // Zero-size pseudo: no cycles, keep hazard state.
+                self.pc = next_pc;
+                self.steps -= 1; // pseudos do not count against budgets
+                return;
+            }
+            FOp::Imm { rd, value } => {
+                self.charge(1);
+                self.regs[*rd as usize] = *value;
+            }
+            FOp::Mov { rd, rs } => {
+                self.stall_if_uses(&[*rs]);
+                self.charge(1);
+                self.regs[*rd as usize] = self.regs[*rs as usize];
+            }
+            FOp::Un { op, rd, rs } => {
+                self.stall_if_uses(&[*rs]);
+                self.charge(1);
+                self.regs[*rd as usize] = op.eval(self.regs[*rs as usize]);
+            }
+            FOp::Bin { op, rd, ra, rb } => {
+                self.stall_if_uses(&[*ra, *rb]);
+                self.charge(binop_cost(*op));
+                self.regs[*rd as usize] =
+                    op.eval(self.regs[*ra as usize], self.regs[*rb as usize]);
+            }
+            FOp::BinImm { op, rd, ra, imm } => {
+                self.stall_if_uses(&[*ra]);
+                self.charge(binop_cost(*op));
+                self.regs[*rd as usize] = op.eval(self.regs[*ra as usize], *imm);
+            }
+            FOp::Select { rd, rc, ra, rb } => {
+                self.stall_if_uses(&[*rc, *ra, *rb]);
+                self.charge(2);
+                self.regs[*rd as usize] = if self.regs[*rc as usize] != 0 {
+                    self.regs[*ra as usize]
+                } else {
+                    self.regs[*rb as usize]
+                };
+            }
+            FOp::LdSlot { rd, off } => {
+                self.charge(3);
+                let base = self.frames.last().map_or(0, |f| f.frame_base);
+                self.regs[*rd as usize] =
+                    self.stack.get(base + *off as usize).copied().unwrap_or(0);
+                new_load_def = Some(*rd);
+            }
+            FOp::StSlot { off, rs } => {
+                self.stall_if_uses(&[*rs]);
+                self.charge(3);
+                let base = self.frames.last().map_or(0, |f| f.frame_base);
+                let idx = base + *off as usize;
+                if idx < self.stack.len() {
+                    self.stack[idx] = self.regs[*rs as usize];
+                }
+            }
+            FOp::LdIdx { rd, off, ri, len } => {
+                self.stall_if_uses(&[*ri]);
+                self.charge(4);
+                let base = self.frames.last().map_or(0, |f| f.frame_base);
+                let idx = base + *off as usize + Self::wrap_index(self.regs[*ri as usize], *len);
+                self.regs[*rd as usize] = self.stack.get(idx).copied().unwrap_or(0);
+                new_load_def = Some(*rd);
+            }
+            FOp::StIdx { off, ri, rs, len } => {
+                self.stall_if_uses(&[*ri, *rs]);
+                self.charge(4);
+                let base = self.frames.last().map_or(0, |f| f.frame_base);
+                let idx = base + *off as usize + Self::wrap_index(self.regs[*ri as usize], *len);
+                if idx < self.stack.len() {
+                    self.stack[idx] = self.regs[*rs as usize];
+                }
+            }
+            FOp::LdG { rd, addr } => {
+                self.charge(3);
+                self.regs[*rd as usize] = self.globals.get(*addr as usize).copied().unwrap_or(0);
+                new_load_def = Some(*rd);
+            }
+            FOp::StG { addr, rs } => {
+                self.stall_if_uses(&[*rs]);
+                self.charge(3);
+                if (*addr as usize) < self.globals.len() {
+                    self.globals[*addr as usize] = self.regs[*rs as usize];
+                }
+            }
+            FOp::LdGIdx { rd, base, ri, len } => {
+                self.stall_if_uses(&[*ri]);
+                self.charge(4);
+                let idx = *base as usize + Self::wrap_index(self.regs[*ri as usize], *len);
+                self.regs[*rd as usize] = self.globals.get(idx).copied().unwrap_or(0);
+                new_load_def = Some(*rd);
+            }
+            FOp::StGIdx { base, ri, rs, len } => {
+                self.stall_if_uses(&[*ri, *rs]);
+                self.charge(4);
+                let idx = *base as usize + Self::wrap_index(self.regs[*ri as usize], *len);
+                if idx < self.globals.len() {
+                    self.globals[idx] = self.regs[*rs as usize];
+                }
+            }
+            FOp::SetArg { k, rs } => {
+                self.stall_if_uses(&[*rs]);
+                self.charge(1);
+                self.args[*k as usize] = self.regs[*rs as usize];
+            }
+            FOp::GetArg { rd, k } => {
+                self.charge(1);
+                self.regs[*rd as usize] = self.args[*k as usize];
+            }
+            FOp::CallF { func } => {
+                let info = &self.obj.funcs[*func as usize];
+                if self.frames.len() >= self.config.max_depth {
+                    self.trap(format!("call-stack overflow calling `{}`", info.name));
+                    return;
+                }
+                // Base + frame-proportional + locality + shrink-wrap.
+                let here = self.pc_addr();
+                let far = (here as i64 - info.low_pc as i64).unsigned_abs() > 4096;
+                let mut cost = 8 + (info.frame_size as u64) / 8 + if far { 2 } else { 0 };
+                if info.shrink_wrapped {
+                    cost = cost.saturating_sub(2);
+                }
+                self.charge(cost);
+                if let Some(cov) = &mut self.coverage {
+                    cov.set(self.obj.code.len() * 2 + *func as usize);
+                }
+                let frame_base = self.stack.len();
+                self.stack
+                    .resize(frame_base + info.frame_size as usize, 0);
+                self.frames.push(Frame {
+                    ret_pc: next_pc,
+                    frame_base,
+                    saved_args: self.args,
+                    func: *func,
+                });
+                self.current_func = *func;
+                next_pc = info.start_index as usize;
+            }
+            FOp::Ret => {
+                self.charge(4);
+                let frame = self.frames.pop().expect("frame underflow");
+                self.stack.truncate(frame.frame_base);
+                if frame.ret_pc == usize::MAX {
+                    self.halted = Some(Halt::Finished);
+                    self.pc = 0;
+                    return;
+                }
+                self.args = frame.saved_args;
+                self.current_func = self.frames.last().map_or(0, |f| f.func);
+                next_pc = frame.ret_pc;
+            }
+            FOp::Jmp { target } => {
+                self.charge(2);
+                next_pc = *target as usize;
+            }
+            FOp::JCond {
+                rs,
+                if_nonzero,
+                target,
+            } => {
+                self.stall_if_uses(&[*rs]);
+                let cond = self.regs[*rs as usize] != 0;
+                let taken = cond == *if_nonzero;
+                // 2-bit predictor.
+                let p = &mut self.predictor[self.pc];
+                let predicted_taken = *p >= 2;
+                let mispredict = predicted_taken != taken;
+                if taken {
+                    *p = (*p + 1).min(3);
+                } else {
+                    *p = p.saturating_sub(1);
+                }
+                let cost = 1 + taken as u64 + if mispredict { 10 } else { 0 };
+                self.charge(cost);
+                self.record_branch(self.pc, taken);
+                if taken {
+                    next_pc = *target as usize;
+                }
+            }
+            FOp::In { rd, ri } => {
+                self.stall_if_uses(&[*ri]);
+                self.charge(4);
+                let i = self.regs[*ri as usize];
+                self.regs[*rd as usize] = if i >= 0 && (i as usize) < self.input.len() {
+                    self.input[i as usize] as i64
+                } else {
+                    -1
+                };
+            }
+            FOp::InLen { rd } => {
+                self.charge(4);
+                self.regs[*rd as usize] = self.input.len() as i64;
+            }
+            FOp::Out { rs } => {
+                self.stall_if_uses(&[*rs]);
+                self.charge(4);
+                self.output.push(self.regs[*rs as usize]);
+            }
+        }
+
+        self.last_load_def = new_load_def;
+        if fused {
+            self.fuse_next = true;
+        }
+        self.pc = next_pc;
+    }
+}
+
+fn binop_cost(op: dt_ir::BinOp) -> u64 {
+    use dt_ir::BinOp::*;
+    match op {
+        Mul => 3,
+        Div | Rem => 12,
+        _ => 1,
+    }
+}
+
+/// Compiles MiniC source straight to an object with the *unoptimized*
+/// backend, then runs `entry`. Test helper used across the workspace.
+pub fn run_source(
+    src: &str,
+    entry: &str,
+    args: &[i64],
+    input: &[u8],
+) -> Result<ExecResult, String> {
+    let module = dt_frontend::lower_source(src)?;
+    let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+    Vm::run_to_completion(&obj, entry, args, input, VmConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, entry: &str, args: &[i64], input: &[u8]) -> ExecResult {
+        run_source(src, entry, args, input).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let r = run("int f(int a, int b) { return a * 10 + b; }", "f", &[4, 2], &[]);
+        assert_eq!(r.ret, 42);
+        assert_eq!(r.halt, Halt::Finished);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn loops_and_locals() {
+        let r = run(
+            "int f(int n) { int s = 0; for (int i = 1; i <= n; i++) { s += i; } return s; }",
+            "f",
+            &[100],
+            &[],
+        );
+        assert_eq!(r.ret, 5050);
+    }
+
+    #[test]
+    fn recursion() {
+        let r = run(
+            "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }",
+            "fib",
+            &[15],
+            &[],
+        );
+        assert_eq!(r.ret, 610);
+    }
+
+    #[test]
+    fn globals_persist_across_calls() {
+        let r = run(
+            "int counter = 0;\nint bump() { counter += 1; return counter; }\n\
+             int f() { bump(); bump(); return bump(); }",
+            "f",
+            &[],
+            &[],
+        );
+        assert_eq!(r.ret, 3);
+    }
+
+    #[test]
+    fn arrays_wrap_out_of_bounds() {
+        let r = run(
+            "int f() { int a[4]; a[0] = 10; a[5] = 99; return a[1]; }",
+            "f",
+            &[],
+            &[],
+        );
+        assert_eq!(r.ret, 99, "index 5 wraps to 1 in a 4-element array");
+        let r = run("int f() { int a[4]; a[-1] = 7; return a[3]; }", "f", &[], &[]);
+        assert_eq!(r.ret, 7, "negative indices wrap from the end");
+    }
+
+    #[test]
+    fn input_builtins() {
+        let r = run(
+            "int f() { int n = in_len(); int s = 0; for (int i = 0; i < n; i++) { s += in(i); } return s; }",
+            "f",
+            &[],
+            &[1, 2, 3, 4],
+        );
+        assert_eq!(r.ret, 10);
+        let r = run("int f() { return in(99); }", "f", &[], &[5]);
+        assert_eq!(r.ret, -1, "past-the-end reads yield -1");
+    }
+
+    #[test]
+    fn output_collection() {
+        let r = run(
+            "int f() { out(10); out(20); out(30); return 0; }",
+            "f",
+            &[],
+            &[],
+        );
+        assert_eq!(r.output, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        let r = run("int f(int a) { return a / 0 + a % 0 + 1; }", "f", &[5], &[]);
+        assert_eq!(r.ret, 1);
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        // `g` traps the test if called: && must not evaluate the rhs.
+        let r = run(
+            "int called = 0;\nint g() { called = 1; return 1; }\n\
+             int f() { int x = 0; if (x && g()) { return 9; } return called; }",
+            "f",
+            &[],
+            &[],
+        );
+        assert_eq!(r.ret, 0, "rhs of && must not run when lhs is false");
+    }
+
+    #[test]
+    fn ternary_and_do_while() {
+        let r = run(
+            "int f(int n) { int i = 0; int s = 0; do { s += n > 5 ? 2 : 1; i++; } while (i < 3); return s; }",
+            "f",
+            &[9],
+            &[],
+        );
+        assert_eq!(r.ret, 6);
+    }
+
+    #[test]
+    fn step_limit_halts_infinite_loops() {
+        let src = "int f() { while (1) { } return 0; }";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let config = VmConfig {
+            max_steps: 10_000,
+            ..VmConfig::default()
+        };
+        let r = Vm::run_to_completion(&obj, "f", &[], &[], config).unwrap();
+        assert_eq!(r.halt, Halt::StepLimit);
+    }
+
+    #[test]
+    fn deep_recursion_traps() {
+        let src = "int f(int n) { return f(n + 1); }";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let r = Vm::run_to_completion(&obj, "f", &[0], &[], VmConfig::default()).unwrap();
+        assert!(matches!(r.halt, Halt::Trap(_)));
+    }
+
+    #[test]
+    fn coverage_distinguishes_branch_outcomes() {
+        let src = "int f(int c) { if (c) { out(1); } else { out(2); } return 0; }";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let config = VmConfig {
+            collect_coverage: true,
+            ..VmConfig::default()
+        };
+        let r1 = Vm::run_to_completion(&obj, "f", &[1], &[], config.clone()).unwrap();
+        let r0 = Vm::run_to_completion(&obj, "f", &[0], &[], config).unwrap();
+        let c1 = r1.coverage.unwrap();
+        let c0 = r0.coverage.unwrap();
+        assert!(c1.adds_to(&c0), "different branch outcomes differ");
+        assert!(c0.adds_to(&c1));
+    }
+
+    #[test]
+    fn sampling_collects_pcs() {
+        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i * i; } return s; }";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let config = VmConfig {
+            sample_interval: Some(100),
+            ..VmConfig::default()
+        };
+        let r = Vm::run_to_completion(&obj, "f", &[500], &[], config).unwrap();
+        assert!(r.samples.len() > 10);
+        let (_, info) = obj.func_by_name("f").unwrap();
+        assert!(r
+            .samples
+            .iter()
+            .all(|&a| a >= info.low_pc && a < info.high_pc));
+    }
+
+    #[test]
+    fn cycle_counts_are_deterministic() {
+        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += in(i % 7); } return s; }";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let a = Vm::run_to_completion(&obj, "f", &[50], &[1, 2, 3], VmConfig::default()).unwrap();
+        let b = Vm::run_to_completion(&obj, "f", &[50], &[1, 2, 3], VmConfig::default()).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.ret, b.ret);
+    }
+
+    #[test]
+    fn read_location_inspects_state() {
+        let src = "int f() { int x = 123; out(x); return x; }";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let mut vm = Vm::new(&obj, "f", &[], &[], VmConfig::default()).unwrap();
+        // Step until the output side effect happened.
+        while vm.output.is_empty() && vm.halt_reason().is_none() {
+            vm.step();
+        }
+        // x lives in frame slot 0 at O0.
+        assert_eq!(vm.read_location(Location::FrameSlot(0)), Some(123));
+        assert_eq!(vm.read_location(Location::Const(9)), Some(9));
+    }
+}

@@ -1,0 +1,72 @@
+//! AutoFDO case study: show that richer debug information in the
+//! profiling binary produces a better profile and a faster final
+//! binary (the paper's Section V-C in one program).
+//!
+//! ```sh
+//! cargo run --release --example autofdo_study
+//! ```
+
+use dt_autofdo::{collect_profile, run_autofdo, AutoFdoConfig};
+use dt_passes::{compile, CompileOptions, OptLevel, PassGate, Personality};
+use dt_testsuite::spec::{self, Workload};
+
+fn main() {
+    let b = spec::benchmark("557.xz").expect("benchmark exists");
+    let module = dt_frontend::lower_source(b.source).unwrap();
+    let iters = b.iterations(Workload::Test);
+
+    // Look at how the profiling level changes profile quality.
+    println!("profile quality by profiling level (sampled {}):", b.name);
+    for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+        let obj = compile(&module, &CompileOptions::new(Personality::Clang, level));
+        let profile = collect_profile(&obj, b.entry, &[iters], &[], 500_000_000).unwrap();
+        println!(
+            "  {level}: {:>6} samples, {:.1}% mapped to source lines, steppable lines {}",
+            profile.total_samples,
+            100.0 * profile.mapped_fraction(),
+            obj.debug.steppable_lines().len()
+        );
+    }
+
+    // Full AutoFDO: baseline O2 profiling vs debug-friendlier O2-dy.
+    let base = AutoFdoConfig {
+        personality: Personality::Clang,
+        profiling_level: OptLevel::O2,
+        profiling_gate: PassGate::allow_all(),
+        final_level: OptLevel::O2,
+        max_steps: 2_000_000_000,
+    };
+    let r_base = run_autofdo(&module, b.entry, &[iters], &[], &base).unwrap();
+    println!(
+        "\nAutoFDO with O2 profiles:    {:>10} cycles (plain O2: {:>10}, {:+.2}%)",
+        r_base.autofdo_cycles,
+        r_base.plain_cycles,
+        100.0 * (r_base.plain_cycles as f64 / r_base.autofdo_cycles as f64 - 1.0)
+    );
+
+    let tuned = AutoFdoConfig {
+        profiling_gate: PassGate::disabling([
+            "JumpThreading",
+            "Machine code sinking",
+            "SimplifyCFG",
+        ]),
+        ..base
+    };
+    let r_tuned = run_autofdo(&module, b.entry, &[iters], &[], &tuned).unwrap();
+    println!(
+        "AutoFDO with O2-d3 profiles: {:>10} cycles ({:+.2}% vs O2-profile AutoFDO)",
+        r_tuned.autofdo_cycles,
+        100.0 * (r_base.autofdo_cycles as f64 / r_tuned.autofdo_cycles as f64 - 1.0)
+    );
+    println!(
+        "profiling binary steppable lines: {} -> {} ({:+})",
+        r_base.profiling_steppable_lines,
+        r_tuned.profiling_steppable_lines,
+        r_tuned.profiling_steppable_lines as i64 - r_base.profiling_steppable_lines as i64
+    );
+    println!(
+        "mapped sample fraction: {:.1}% -> {:.1}%",
+        100.0 * r_base.mapped_fraction,
+        100.0 * r_tuned.mapped_fraction
+    );
+}

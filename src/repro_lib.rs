@@ -1,0 +1,3 @@
+//! Shared helpers for workspace-level examples and integration tests.
+pub use debugtuner as core;
+
