@@ -5,8 +5,11 @@ use dt_passes::{compile_source, CompileOptions, OptLevel, Personality};
 
 fn bench_trace(c: &mut Criterion) {
     let p = dt_testsuite::program("libpng").unwrap();
-    let obj = compile_source(p.source, &CompileOptions::new(Personality::Gcc, OptLevel::O1))
-        .unwrap();
+    let obj = compile_source(
+        p.source,
+        &CompileOptions::new(Personality::Gcc, OptLevel::O1),
+    )
+    .unwrap();
     let inputs: Vec<Vec<u8>> = p.seeds.iter().map(|s| s.to_vec()).collect();
     let session = dt_debugger::SessionConfig::default();
     c.bench_function("trace_libpng_o1", |b| {

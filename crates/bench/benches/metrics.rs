@@ -6,10 +6,16 @@ use dt_passes::{compile_source, CompileOptions, OptLevel, Personality};
 
 fn bench_methods(c: &mut Criterion) {
     let p = dt_testsuite::program("libexif").unwrap();
-    let o0 = compile_source(p.source, &CompileOptions::new(Personality::Gcc, OptLevel::O0))
-        .unwrap();
-    let o2 = compile_source(p.source, &CompileOptions::new(Personality::Gcc, OptLevel::O2))
-        .unwrap();
+    let o0 = compile_source(
+        p.source,
+        &CompileOptions::new(Personality::Gcc, OptLevel::O0),
+    )
+    .unwrap();
+    let o2 = compile_source(
+        p.source,
+        &CompileOptions::new(Personality::Gcc, OptLevel::O2),
+    )
+    .unwrap();
     let inputs: Vec<Vec<u8>> = p.seeds.iter().map(|s| s.to_vec()).collect();
     let session = dt_debugger::SessionConfig::default();
     let base = dt_debugger::trace(&o0, "fuzz_exif", &inputs, &session).unwrap();

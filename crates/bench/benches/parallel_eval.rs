@@ -1,0 +1,40 @@
+//! Parallel variant-evaluation benchmarks: the same per-program
+//! evaluation as `tuning.rs`, swept over worker-thread counts, to show
+//! the fan-out of the per-pass variant builds and trace sessions
+//! paying off (threads=4 must beat threads=1 on multi-core hosts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use debugtuner::ProgramInput;
+use dt_passes::{OptLevel, Personality};
+
+fn bench_parallel_evaluate(c: &mut Criterion) {
+    let p = ProgramInput {
+        name: "bench".into(),
+        source: dt_testsuite::program("lighttpd")
+            .unwrap()
+            .source
+            .to_string(),
+        harness: "fuzz_request".into(),
+        inputs: vec![b"GET /index HTTP\nHost: x\n\n".to_vec()],
+        entry_args: vec![],
+    };
+    let mut group = c.benchmark_group("parallel_eval");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("lighttpd_gcc_o2", threads), |b| {
+            b.iter(|| {
+                debugtuner::evaluate_program_parallel(
+                    &p,
+                    Personality::Gcc,
+                    OptLevel::O2,
+                    2_000_000,
+                    threads,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_evaluate);
+criterion_main!(benches);

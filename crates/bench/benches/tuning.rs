@@ -8,7 +8,10 @@ use dt_passes::{OptLevel, Personality};
 fn bench_evaluate(c: &mut Criterion) {
     let p = ProgramInput {
         name: "bench".into(),
-        source: dt_testsuite::program("lighttpd").unwrap().source.to_string(),
+        source: dt_testsuite::program("lighttpd")
+            .unwrap()
+            .source
+            .to_string(),
         harness: "fuzz_request".into(),
         inputs: vec![b"GET /index HTTP\nHost: x\n\n".to_vec()],
         entry_args: vec![],

@@ -16,8 +16,14 @@ fn bench_vm(c: &mut Criterion) {
         let iters = b.iterations(Workload::Test);
         group.bench_with_input(BenchmarkId::from_parameter(b.name), &obj, |bench, obj| {
             bench.iter(|| {
-                dt_vm::Vm::run_to_completion(obj, "bench", &[iters], &[], dt_vm::VmConfig::default())
-                    .unwrap()
+                dt_vm::Vm::run_to_completion(
+                    obj,
+                    "bench",
+                    &[iters],
+                    &[],
+                    dt_vm::VmConfig::default(),
+                )
+                .unwrap()
             })
         });
     }

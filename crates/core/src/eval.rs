@@ -1,9 +1,57 @@
 //! The debug-information evaluation component (Section III-A).
+//!
+//! The four-stage workflow (builds, baseline trace, reference metrics,
+//! one variant per gateable pass) is embarrassingly parallel in its
+//! fourth stage: each variant's build + debug-trace session is
+//! independent. [`evaluate_program_parallel`] fans that stage out
+//! across worker threads, and a content-addressed cache (keyed by
+//! [`dt_machine::Object::content_hash`]) lets variants that produce
+//! identical binaries share a single trace/metric computation. Both
+//! paths produce bit-identical `ProgramEvaluation`s: workers write
+//! results into per-pass slots, so ordering and values never depend on
+//! scheduling.
 
+use crate::telemetry::Telemetry;
 use dt_metrics::Metrics;
 use dt_minic::analysis::SourceAnalysis;
-use dt_passes::{compile_source, pipeline_pass_names, CompileOptions, OptLevel, PassGate, Personality};
+use dt_passes::{
+    compile_source, pipeline_pass_names, CompileOptions, OptLevel, PassGate, Personality,
+};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Shared map from object content hash to variant metrics, scoped by a
+/// program/personality/level key so entries are only reused where the
+/// baseline trace and input set are the same.
+pub(crate) type TraceCache = Mutex<HashMap<(String, u64), Metrics>>;
+
+/// Execution context for one evaluation: worker count plus optional
+/// shared telemetry and trace cache (both owned by [`crate::DebugTuner`]
+/// when driven through the tuner).
+pub(crate) struct EvalCtx<'a> {
+    pub threads: usize,
+    pub telemetry: Option<&'a Telemetry>,
+    pub trace_cache: Option<&'a TraceCache>,
+}
+
+impl EvalCtx<'_> {
+    fn serial() -> EvalCtx<'static> {
+        EvalCtx {
+            threads: 1,
+            telemetry: None,
+            trace_cache: None,
+        }
+    }
+
+    fn with_telemetry<F: FnOnce(&Telemetry)>(&self, f: F) {
+        if let Some(t) = self.telemetry {
+            f(t);
+        }
+    }
+}
 
 /// A program plus the inputs driving its debug sessions.
 #[derive(Debug, Clone)]
@@ -93,33 +141,65 @@ fn metrics_for(
         max_steps_per_input: max_steps,
         entry_args: entry_args.to_vec(),
     };
-    let trace = dt_debugger::trace(obj, harness, inputs, &session)
-        .expect("debug session runs");
+    let trace = dt_debugger::trace(obj, harness, inputs, &session).expect("debug session runs");
     let m = dt_metrics::hybrid(&trace, base, analysis);
     (m, trace)
 }
 
-/// Runs the four-stage evaluation workflow for one program.
+/// Runs the four-stage evaluation workflow for one program, serially.
 pub fn evaluate_program(
     program: &ProgramInput,
     personality: Personality,
     level: OptLevel,
     max_steps: u64,
 ) -> ProgramEvaluation {
+    evaluate_program_ctx(program, personality, level, max_steps, &EvalCtx::serial())
+}
+
+/// Runs the four-stage evaluation workflow with the per-pass variant
+/// stage fanned out across `threads` workers. Bit-identical to
+/// [`evaluate_program`] for any thread count.
+pub fn evaluate_program_parallel(
+    program: &ProgramInput,
+    personality: Personality,
+    level: OptLevel,
+    max_steps: u64,
+    threads: usize,
+) -> ProgramEvaluation {
+    let ctx = EvalCtx {
+        threads,
+        telemetry: None,
+        trace_cache: None,
+    };
+    evaluate_program_ctx(program, personality, level, max_steps, &ctx)
+}
+
+/// The shared implementation behind the serial and parallel entry
+/// points and [`crate::DebugTuner::evaluate`].
+pub(crate) fn evaluate_program_ctx(
+    program: &ProgramInput,
+    personality: Personality,
+    level: OptLevel,
+    max_steps: u64,
+    ctx: &EvalCtx<'_>,
+) -> ProgramEvaluation {
+    let wall_start = Instant::now();
+    ctx.with_telemetry(|t| t.record_program());
     let parsed = dt_minic::compile_check(&program.source).expect("program is valid");
     let analysis = SourceAnalysis::of(&parsed);
 
     // Stage 1: builds.
+    let build_start = Instant::now();
     let o0 = compile_source(
         &program.source,
         &CompileOptions::new(personality, OptLevel::O0),
     )
     .expect("O0 build");
-    let reference_obj = compile_source(
-        &program.source,
-        &CompileOptions::new(personality, level),
-    )
-    .expect("reference build");
+    ctx.with_telemetry(|t| t.record_build(build_start.elapsed()));
+    let build_start = Instant::now();
+    let reference_obj = compile_source(&program.source, &CompileOptions::new(personality, level))
+        .expect("reference build");
+    ctx.with_telemetry(|t| t.record_build(build_start.elapsed()));
 
     // Stage 2+3: baseline and reference traces (source-refined by the
     // hybrid metric itself).
@@ -127,8 +207,11 @@ pub fn evaluate_program(
         max_steps_per_input: max_steps,
         entry_args: program.entry_args.clone(),
     };
+    let trace_start = Instant::now();
     let base_trace = dt_debugger::trace(&o0, &program.harness, &program.inputs, &session)
         .expect("baseline session");
+    ctx.with_telemetry(|t| t.record_trace(trace_start.elapsed()));
+    let trace_start = Instant::now();
     let (reference, ref_trace) = metrics_for(
         &reference_obj,
         &program.harness,
@@ -138,31 +221,56 @@ pub fn evaluate_program(
         &analysis,
         max_steps,
     );
+    ctx.with_telemetry(|t| t.record_trace(trace_start.elapsed()));
     let methods = dt_metrics::all_methods(&reference_obj.debug, &ref_trace, &base_trace, &analysis);
 
-    // Stage 4: one variant per gateable pass, with `.text` pruning.
-    let mut effects = Vec::new();
-    for pass in pipeline_pass_names(personality, level) {
+    // Stage 4: one variant per gateable pass, with `.text` pruning and
+    // content-addressed sharing of trace/metric work. Each pass gets a
+    // dedicated result slot, so the output order (and every value in
+    // it) is independent of worker scheduling.
+    let passes = pipeline_pass_names(personality, level);
+    let cache_scope = format!("{}|{personality}|{level}", program.name);
+    let variant_effect = |pass: &str| -> PassEffect {
         let mut opts = CompileOptions::new(personality, level);
         opts.gate = PassGate::disabling([pass]);
+        let build_start = Instant::now();
         let variant = compile_source(&program.source, &opts).expect("variant build");
+        ctx.with_telemetry(|t| t.record_build(build_start.elapsed()));
         if variant.text_eq(&reference_obj) {
-            effects.push(PassEffect {
+            ctx.with_telemetry(|t| t.record_pruned_variant());
+            return PassEffect {
                 pass: pass.to_string(),
                 metrics: None,
                 relative_increment: 0.0,
-            });
-            continue;
+            };
         }
-        let (m, _) = metrics_for(
-            &variant,
-            &program.harness,
-            &program.inputs,
-            &program.entry_args,
-            &base_trace,
-            &analysis,
-            max_steps,
-        );
+        let cache_key = ctx
+            .trace_cache
+            .map(|_| (cache_scope.clone(), variant.content_hash()));
+        let cached = cache_key.as_ref().and_then(|k| {
+            let hit = ctx.trace_cache.unwrap().lock().get(k).copied();
+            if hit.is_some() {
+                ctx.with_telemetry(|t| t.record_trace_cache_hit());
+            }
+            hit
+        });
+        let m = cached.unwrap_or_else(|| {
+            let trace_start = Instant::now();
+            let (m, _) = metrics_for(
+                &variant,
+                &program.harness,
+                &program.inputs,
+                &program.entry_args,
+                &base_trace,
+                &analysis,
+                max_steps,
+            );
+            ctx.with_telemetry(|t| t.record_trace(trace_start.elapsed()));
+            if let Some(k) = cache_key {
+                ctx.trace_cache.unwrap().lock().insert(k, m);
+            }
+            m
+        });
         let rel = if reference.product > 0.0 {
             (m.product - reference.product) / reference.product
         } else if m.product > 0.0 {
@@ -170,13 +278,39 @@ pub fn evaluate_program(
         } else {
             0.0
         };
-        effects.push(PassEffect {
+        PassEffect {
             pass: pass.to_string(),
             metrics: Some(m),
             relative_increment: rel,
-        });
-    }
+        }
+    };
 
+    let workers = ctx.threads.max(1).min(passes.len().max(1));
+    let effects: Vec<PassEffect> = if workers <= 1 {
+        passes.iter().map(|pass| variant_effect(pass)).collect()
+    } else {
+        let slots: Vec<Mutex<Option<PassEffect>>> =
+            passes.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= passes.len() {
+                        break;
+                    }
+                    let effect = variant_effect(passes[i]);
+                    *slots[i].lock() = Some(effect);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("all variants evaluated"))
+            .collect()
+    };
+
+    ctx.with_telemetry(|t| t.record_wall(wall_start.elapsed()));
     ProgramEvaluation {
         program: program.name.clone(),
         reference,

@@ -36,12 +36,16 @@ pub mod eval;
 pub mod pareto;
 pub mod perf;
 pub mod rank;
+pub mod telemetry;
 
 pub use config::{dy_config, dy_family, DyConfig};
-pub use eval::{evaluate_program, PassEffect, ProgramEvaluation, ProgramInput};
+pub use eval::{
+    evaluate_program, evaluate_program_parallel, PassEffect, ProgramEvaluation, ProgramInput,
+};
 pub use pareto::{pareto_front, TradeoffPoint};
 pub use perf::{measure_speedup, PerfReport};
 pub use rank::{rank_passes_across, PassRanking, RankEntry};
+pub use telemetry::{EvalStats, Telemetry};
 
 use dt_passes::{OptLevel, Personality};
 use parking_lot::Mutex;
@@ -68,10 +72,14 @@ impl Default for TunerConfig {
 }
 
 /// The DebugTuner framework instance: caches evaluations so that the
-/// experiment binaries can share work across tables.
+/// experiment binaries can share work across tables, shares one
+/// content-addressed trace cache across all variant builds, and keeps
+/// live telemetry of the work performed vs avoided.
 pub struct DebugTuner {
     pub config: TunerConfig,
     cache: Mutex<HashMap<String, ProgramEvaluation>>,
+    trace_cache: eval::TraceCache,
+    telemetry: Telemetry,
 }
 
 impl DebugTuner {
@@ -80,21 +88,58 @@ impl DebugTuner {
         DebugTuner {
             config,
             cache: Mutex::new(HashMap::new()),
+            trace_cache: Mutex::new(HashMap::new()),
+            telemetry: Telemetry::default(),
         }
     }
 
-    /// Evaluates one program at one personality/level (cached).
+    /// A serializable snapshot of the work performed so far (builds,
+    /// traces, cache hits, per-stage wall-clock).
+    pub fn stats(&self) -> EvalStats {
+        self.telemetry.snapshot(self.config.threads)
+    }
+
+    /// Resets the telemetry counters (the evaluation caches survive).
+    pub fn reset_stats(&self) {
+        self.telemetry.reset();
+    }
+
+    /// Evaluates one program at one personality/level (cached), fanning
+    /// the per-pass variant builds and trace sessions out across
+    /// `config.threads` workers.
     pub fn evaluate(
         &self,
         program: &ProgramInput,
         personality: Personality,
         level: OptLevel,
     ) -> ProgramEvaluation {
+        self.evaluate_with_threads(program, personality, level, self.config.threads)
+    }
+
+    fn evaluate_with_threads(
+        &self,
+        program: &ProgramInput,
+        personality: Personality,
+        level: OptLevel,
+        threads: usize,
+    ) -> ProgramEvaluation {
         let key = format!("{}|{personality}|{level}", program.name);
         if let Some(hit) = self.cache.lock().get(&key) {
+            self.telemetry.record_eval_cache_hit();
             return hit.clone();
         }
-        let eval = evaluate_program(program, personality, level, self.config.max_steps_per_input);
+        let ctx = eval::EvalCtx {
+            threads,
+            telemetry: Some(&self.telemetry),
+            trace_cache: Some(&self.trace_cache),
+        };
+        let eval = eval::evaluate_program_ctx(
+            program,
+            personality,
+            level,
+            self.config.max_steps_per_input,
+            &ctx,
+        );
         self.cache.lock().insert(key, eval.clone());
         eval
     }
@@ -108,10 +153,16 @@ impl DebugTuner {
         level: OptLevel,
     ) -> PassRanking {
         let evals = self.evaluate_all(programs, personality, level);
-        rank_passes_across(&evals)
+        let rank_start = std::time::Instant::now();
+        let ranking = rank_passes_across(&evals);
+        self.telemetry.record_rank(rank_start.elapsed());
+        ranking
     }
 
-    /// Parallel evaluation of many programs.
+    /// Parallel evaluation of many programs. Parallelism is applied
+    /// across programs here; each program's own variant fan-out runs
+    /// serially inside its worker so the machine is not oversubscribed
+    /// with `threads * threads` sessions.
     pub fn evaluate_all(
         &self,
         programs: &[ProgramInput],
@@ -119,22 +170,20 @@ impl DebugTuner {
         level: OptLevel,
     ) -> Vec<ProgramEvaluation> {
         let threads = self.config.threads.max(1);
-        let results: Mutex<Vec<Option<ProgramEvaluation>>> =
-            Mutex::new(vec![None; programs.len()]);
+        let results: Mutex<Vec<Option<ProgramEvaluation>>> = Mutex::new(vec![None; programs.len()]);
         let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads.min(programs.len().max(1)) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= programs.len() {
                         break;
                     }
-                    let eval = self.evaluate(&programs[i], personality, level);
+                    let eval = self.evaluate_with_threads(&programs[i], personality, level, 1);
                     results.lock()[i] = Some(eval);
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         results
             .into_inner()
             .into_iter()

@@ -36,7 +36,11 @@ pub struct PassRanking {
 impl PassRanking {
     /// The top-`k` pass names.
     pub fn top(&self, k: usize) -> Vec<&str> {
-        self.entries.iter().take(k).map(|e| e.pass.as_str()).collect()
+        self.entries
+            .iter()
+            .take(k)
+            .map(|e| e.pass.as_str())
+            .collect()
     }
 
     /// Counts of passes with positive / neutral / negative average
@@ -61,11 +65,23 @@ impl PassRanking {
 /// Aggregates per-program evaluations into the global ranking.
 pub fn rank_passes_across(evals: &[ProgramEvaluation]) -> PassRanking {
     assert!(!evals.is_empty(), "ranking needs at least one program");
-    let pass_names: Vec<String> = evals[0].effects.iter().map(|e| e.pass.clone()).collect();
+    // The union of pass names across all evaluations, in first-seen
+    // order: evaluations from different levels (or personalities) gate
+    // different pipelines, and a pass must not drop out of the table
+    // just because the first program's pipeline lacks it.
+    let mut pass_names: Vec<String> = Vec::new();
+    for eval in evals {
+        for e in &eval.effects {
+            if !pass_names.contains(&e.pass) {
+                pass_names.push(e.pass.clone());
+            }
+        }
+    }
 
     // Per-program ranks.
     let mut rank_sums: HashMap<&str, f64> = HashMap::new();
     let mut ratio_logs: HashMap<&str, f64> = HashMap::new();
+    let mut seen: HashMap<&str, usize> = HashMap::new();
     let mut pos: HashMap<&str, usize> = HashMap::new();
     let mut neg: HashMap<&str, usize> = HashMap::new();
     let mut neu: HashMap<&str, usize> = HashMap::new();
@@ -95,6 +111,7 @@ pub fn rank_passes_across(evals: &[ProgramEvaluation]) -> PassRanking {
             };
             *rank_sums.entry(pass).or_insert(0.0) += rank;
             *ratio_logs.entry(pass).or_insert(0.0) += (1.0 + rel).max(1e-4).ln();
+            *seen.entry(pass).or_insert(0) += 1;
             let bucket = if *rel > 1e-9 {
                 &mut pos
             } else if *rel < -1e-9 {
@@ -106,11 +123,13 @@ pub fn rank_passes_across(evals: &[ProgramEvaluation]) -> PassRanking {
         }
     }
 
-    let n = evals.len() as f64;
     let mut entries: Vec<RankEntry> = pass_names
         .iter()
         .map(|p| {
             let p = p.as_str();
+            // Average over the evaluations whose pipeline contains the
+            // pass; every name in the union appears at least once.
+            let n = seen.get(p).copied().unwrap_or(1).max(1) as f64;
             RankEntry {
                 pass: p.to_string(),
                 avg_rank: rank_sums.get(p).copied().unwrap_or(0.0) / n,
@@ -125,7 +144,11 @@ pub fn rank_passes_across(evals: &[ProgramEvaluation]) -> PassRanking {
         a.avg_rank
             .partial_cmp(&b.avg_rank)
             .expect("finite ranks")
-            .then_with(|| b.geomean_increment.partial_cmp(&a.geomean_increment).unwrap())
+            .then_with(|| {
+                b.geomean_increment
+                    .partial_cmp(&a.geomean_increment)
+                    .unwrap()
+            })
     });
 
     PassRanking {
@@ -159,7 +182,7 @@ mod tests {
                 .into_iter()
                 .map(|(pass, rel)| PassEffect {
                     pass: pass.into(),
-                    metrics: (rel != 0.0).then(|| Metrics {
+                    metrics: (rel != 0.0).then_some(Metrics {
                         availability: 0.5,
                         line_coverage: 0.5,
                         product: 0.25 * (1.0 + rel),
@@ -196,22 +219,13 @@ mod tests {
             eval_with(vec![("steady", 0.05), ("spiky", -0.01), ("third", 0.06)]),
         ];
         let ranking = rank_passes_across(&evals);
-        let pos = |name: &str| {
-            ranking
-                .entries
-                .iter()
-                .position(|e| e.pass == name)
-                .unwrap()
-        };
+        let pos = |name: &str| ranking.entries.iter().position(|e| e.pass == name).unwrap();
         assert!(pos("steady") < pos("spiky"));
     }
 
     #[test]
     fn geomean_increment_is_multiplicative() {
-        let evals = vec![
-            eval_with(vec![("p", 0.10)]),
-            eval_with(vec![("p", 0.10)]),
-        ];
+        let evals = vec![eval_with(vec![("p", 0.10)]), eval_with(vec![("p", 0.10)])];
         let ranking = rank_passes_across(&evals);
         assert!((ranking.entries[0].geomean_increment - 0.10).abs() < 1e-9);
     }

@@ -1,0 +1,200 @@
+//! Evaluation telemetry: lock-free live counters updated by the
+//! variant-evaluation workers, and the serializable [`EvalStats`]
+//! snapshot the experiment binaries print.
+//!
+//! The counters separate *work performed* (builds, debug-trace
+//! sessions) from *work avoided* (`.text` pruning, content-addressed
+//! trace-cache hits, whole-evaluation cache hits), plus per-stage
+//! wall-clock totals summed across workers.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live counters shared by all evaluation workers of a tuner.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    programs: AtomicU64,
+    builds: AtomicU64,
+    traces: AtomicU64,
+    trace_cache_hits: AtomicU64,
+    eval_cache_hits: AtomicU64,
+    pruned_variants: AtomicU64,
+    build_nanos: AtomicU64,
+    trace_nanos: AtomicU64,
+    rank_nanos: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl Telemetry {
+    pub fn record_program(&self) {
+        self.programs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_build(&self, elapsed: Duration) {
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        self.build_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_trace(&self, elapsed: Duration) {
+        self.traces.fetch_add(1, Ordering::Relaxed);
+        self.trace_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_trace_cache_hit(&self) {
+        self.trace_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_eval_cache_hit(&self) {
+        self.eval_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_pruned_variant(&self) {
+        self.pruned_variants.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rank(&self, elapsed: Duration) {
+        self.rank_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_wall(&self, elapsed: Duration) {
+        self.wall_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting (individual counters
+    /// are read relaxed; exactness across concurrent updates is not
+    /// required for telemetry).
+    pub fn snapshot(&self, threads: usize) -> EvalStats {
+        let ms = |n: &AtomicU64| n.load(Ordering::Relaxed) as f64 / 1e6;
+        EvalStats {
+            threads,
+            programs: self.programs.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            traces: self.traces.load(Ordering::Relaxed),
+            trace_cache_hits: self.trace_cache_hits.load(Ordering::Relaxed),
+            eval_cache_hits: self.eval_cache_hits.load(Ordering::Relaxed),
+            pruned_variants: self.pruned_variants.load(Ordering::Relaxed),
+            build_ms: ms(&self.build_nanos),
+            trace_ms: ms(&self.trace_nanos),
+            rank_ms: ms(&self.rank_nanos),
+            wall_ms: ms(&self.wall_nanos),
+        }
+    }
+
+    pub fn reset(&self) {
+        for c in [
+            &self.programs,
+            &self.builds,
+            &self.traces,
+            &self.trace_cache_hits,
+            &self.eval_cache_hits,
+            &self.pruned_variants,
+            &self.build_nanos,
+            &self.trace_nanos,
+            &self.rank_nanos,
+            &self.wall_nanos,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serializable evaluation statistics.
+///
+/// `build_ms`/`trace_ms` are summed across workers (CPU-time-like);
+/// `wall_ms` is the elapsed time of the evaluation calls themselves, so
+/// with `threads > 1` the stage sums typically exceed the wall time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Worker threads configured for the variant fan-out.
+    pub threads: usize,
+    /// Programs evaluated (excluding whole-evaluation cache hits).
+    pub programs: u64,
+    /// Compilations performed (baselines, references, variants).
+    pub builds: u64,
+    /// Debug-trace sessions actually run.
+    pub traces: u64,
+    /// Variant trace/metric computations shared via the
+    /// content-addressed cache.
+    pub trace_cache_hits: u64,
+    /// Whole-`ProgramEvaluation` cache hits.
+    pub eval_cache_hits: u64,
+    /// Variants discarded by the `.text` equality pruning.
+    pub pruned_variants: u64,
+    /// Wall-clock spent compiling, summed across workers.
+    pub build_ms: f64,
+    /// Wall-clock spent in debug-trace sessions + metric computation,
+    /// summed across workers.
+    pub trace_ms: f64,
+    /// Wall-clock spent aggregating rankings.
+    pub rank_ms: f64,
+    /// Elapsed wall-clock of the evaluation entry points.
+    pub wall_ms: f64,
+}
+
+impl EvalStats {
+    /// One-line human summary for experiment binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "eval stats: {} program(s), {} build(s) ({:.0} ms), {} trace(s) ({:.0} ms), \
+             {} trace-cache hit(s), {} eval-cache hit(s), {} pruned variant(s), \
+             {:.0} ms wall on {} thread(s)",
+            self.programs,
+            self.builds,
+            self.build_ms,
+            self.traces,
+            self.trace_ms,
+            self.trace_cache_hits,
+            self.eval_cache_hits,
+            self.pruned_variants,
+            self.wall_ms,
+            self.threads
+        )
+    }
+
+    /// JSON rendering (for machine-readable experiment logs).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("stats serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let t = Telemetry::default();
+        t.record_program();
+        t.record_build(Duration::from_millis(2));
+        t.record_build(Duration::from_millis(3));
+        t.record_trace(Duration::from_millis(5));
+        t.record_trace_cache_hit();
+        t.record_pruned_variant();
+        let s = t.snapshot(4);
+        assert_eq!(s.programs, 1);
+        assert_eq!(s.builds, 2);
+        assert_eq!(s.traces, 1);
+        assert_eq!(s.trace_cache_hits, 1);
+        assert_eq!(s.pruned_variants, 1);
+        assert_eq!(s.threads, 4);
+        assert!(s.build_ms >= 5.0 - 1e-9);
+        t.reset();
+        assert_eq!(t.snapshot(4).builds, 0);
+    }
+
+    #[test]
+    fn stats_serialize_round_trip() {
+        let t = Telemetry::default();
+        t.record_build(Duration::from_millis(1));
+        let s = t.snapshot(2);
+        let json = s.to_json();
+        let back: EvalStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert!(s.summary().contains("1 build"));
+    }
+}

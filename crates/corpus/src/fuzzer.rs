@@ -72,12 +72,8 @@ pub fn fuzz(obj: &Object, entry: &str, seeds: &[Vec<u8>], config: &FuzzConfig) -
     let mut global = CoverageMap::new(obj.code.len() * 2 + obj.funcs.len());
     let mut queue: Vec<Vec<u8>> = Vec::new();
 
-    let try_input = |input: Vec<u8>,
-                         queue: &mut Vec<Vec<u8>>,
-                         global: &mut CoverageMap|
-     -> bool {
-        let Some(cov) =
-            run_with_coverage(obj, entry, &input, config.max_steps, &config.entry_args)
+    let try_input = |input: Vec<u8>, queue: &mut Vec<Vec<u8>>, global: &mut CoverageMap| -> bool {
+        let Some(cov) = run_with_coverage(obj, entry, &input, config.max_steps, &config.entry_args)
         else {
             return false;
         };
@@ -241,8 +237,7 @@ int process() {
         let mut global = CoverageMap::new(obj.code.len() * 2 + obj.funcs.len());
         let mut adds = 0;
         for input in &report.queue {
-            let cov =
-                run_with_coverage(&obj, "process", input, 100_000, &[]).unwrap();
+            let cov = run_with_coverage(&obj, "process", input, 100_000, &[]).unwrap();
             if cov.adds_to(&global) {
                 adds += 1;
                 global.merge(&cov);

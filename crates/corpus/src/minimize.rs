@@ -149,8 +149,7 @@ int process() {
         let total = |inputs: &[Vec<u8>]| {
             let mut g = dt_vm::CoverageMap::new(obj.code.len() * 2 + obj.funcs.len());
             for i in inputs {
-                let c =
-                    crate::fuzzer::run_with_coverage(&obj, "process", i, 100_000, &[]).unwrap();
+                let c = crate::fuzzer::run_with_coverage(&obj, "process", i, 100_000, &[]).unwrap();
                 g.merge(&c);
             }
             g.count()

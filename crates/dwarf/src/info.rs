@@ -58,7 +58,9 @@ impl DebugInfo {
 
     /// Iterates over the variables of subprogram index `sp`.
     pub fn vars_of(&self, sp: usize) -> impl Iterator<Item = &VarRecord> {
-        self.vars.iter().filter(move |v| v.subprogram as usize == sp)
+        self.vars
+            .iter()
+            .filter(move |v| v.subprogram as usize == sp)
     }
 
     /// The set of steppable lines (distinct non-zero `is_stmt` lines in
@@ -140,7 +142,7 @@ impl DebugInfo {
 mod tests {
     use super::*;
     use crate::line::LineRow;
-    use crate::loc::{LocRange, Location};
+    use crate::loc::Location;
 
     fn sample() -> DebugInfo {
         let mut line_table = LineTable::new();

@@ -53,7 +53,10 @@ impl LocList {
             return;
         }
         if let Some(last) = self.ranges.last_mut() {
-            assert!(r.lo >= last.hi, "location ranges must be disjoint and ordered");
+            assert!(
+                r.lo >= last.hi,
+                "location ranges must be disjoint and ordered"
+            );
             if last.hi == r.lo && last.loc == r.loc {
                 last.hi = r.hi;
                 return;

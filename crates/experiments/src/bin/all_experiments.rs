@@ -8,20 +8,38 @@ fn main() {
 
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
-    experiments::emit("table04_quality", &experiments::table04_quality(&tuner, &programs));
+    experiments::emit(
+        "table04_quality",
+        &experiments::table04_quality(&tuner, &programs),
+    );
     let (t5, _) = experiments::table_top_passes(&tuner, &programs, dt_passes::Personality::Gcc);
     experiments::emit("table05_gcc_passes", &t5);
     let (t6, _) = experiments::table_top_passes(&tuner, &programs, dt_passes::Personality::Clang);
     experiments::emit("table06_clang_passes", &t6);
-    experiments::emit("table07_breakdown", &experiments::table07_breakdown(&tuner, &programs));
+    experiments::emit(
+        "table07_breakdown",
+        &experiments::table07_breakdown(&tuner, &programs),
+    );
 
     let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
     let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
-    experiments::emit("table08_tradeoff", &experiments::table08_tradeoff(&gcc, &clang));
+    experiments::emit(
+        "table08_tradeoff",
+        &experiments::table08_tradeoff(&gcc, &clang),
+    );
     experiments::emit("table09_gcc_dy", &experiments::table_per_program_dy(&gcc));
-    experiments::emit("table10_clang_dy", &experiments::table_per_program_dy(&clang));
-    experiments::emit("table11_spec_speedup", &experiments::table_spec_speedups(&gcc, &clang, false));
-    experiments::emit("table12_spec_delta", &experiments::table_spec_speedups(&gcc, &clang, true));
+    experiments::emit(
+        "table10_clang_dy",
+        &experiments::table_per_program_dy(&clang),
+    );
+    experiments::emit(
+        "table11_spec_speedup",
+        &experiments::table_spec_speedups(&gcc, &clang, false),
+    );
+    experiments::emit(
+        "table12_spec_delta",
+        &experiments::table_spec_speedups(&gcc, &clang, true),
+    );
     let (t13, t14, fig2) = experiments::pareto_tables(&gcc, &clang);
     experiments::emit("table13_pareto_dbg", &t13);
     experiments::emit("table14_pareto_perf", &t14);
@@ -30,7 +48,10 @@ fn main() {
     let (t15, fig3) = experiments::autofdo_spec(&tuner, &programs);
     experiments::emit("table15_autofdo", &t15);
     experiments::emit("fig03_autofdo_spec", &fig3);
-    experiments::emit("fig04_selfcompile", &experiments::fig04_selfcompile(&tuner, &programs));
+    experiments::emit(
+        "fig04_selfcompile",
+        &experiments::fig04_selfcompile(&tuner, &programs),
+    );
 
     eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
 }

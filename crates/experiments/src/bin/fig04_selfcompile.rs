@@ -2,5 +2,8 @@
 fn main() {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
-    experiments::emit("fig04_selfcompile", &experiments::fig04_selfcompile(&tuner, &programs));
+    experiments::emit(
+        "fig04_selfcompile",
+        &experiments::fig04_selfcompile(&tuner, &programs),
+    );
 }

@@ -2,5 +2,8 @@
 fn main() {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
-    experiments::emit("table04_quality", &experiments::table04_quality(&tuner, &programs));
+    experiments::emit(
+        "table04_quality",
+        &experiments::table04_quality(&tuner, &programs),
+    );
 }

@@ -2,5 +2,8 @@
 fn main() {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
-    experiments::emit("table07_breakdown", &experiments::table07_breakdown(&tuner, &programs));
+    experiments::emit(
+        "table07_breakdown",
+        &experiments::table07_breakdown(&tuner, &programs),
+    );
 }

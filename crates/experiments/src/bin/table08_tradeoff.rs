@@ -4,5 +4,8 @@ fn main() {
     let programs = experiments::suite_inputs();
     let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
     let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
-    experiments::emit("table08_tradeoff", &experiments::table08_tradeoff(&gcc, &clang));
+    experiments::emit(
+        "table08_tradeoff",
+        &experiments::table08_tradeoff(&gcc, &clang),
+    );
 }

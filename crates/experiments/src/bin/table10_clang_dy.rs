@@ -3,5 +3,8 @@ fn main() {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
-    experiments::emit("table10_clang_dy", &experiments::table_per_program_dy(&clang));
+    experiments::emit(
+        "table10_clang_dy",
+        &experiments::table_per_program_dy(&clang),
+    );
 }

@@ -4,5 +4,8 @@ fn main() {
     let programs = experiments::suite_inputs();
     let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
     let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
-    experiments::emit("table12_spec_delta", &experiments::table_spec_speedups(&gcc, &clang, true));
+    experiments::emit(
+        "table12_spec_delta",
+        &experiments::table_spec_speedups(&gcc, &clang, true),
+    );
 }

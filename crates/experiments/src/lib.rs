@@ -11,8 +11,8 @@
 //!   `test`; use `ref` for the measurement runs).
 
 use debugtuner::{
-    dy_config, dy_family, evaluate_program, measure_speedup, pareto_front, DebugTuner,
-    PassRanking, ProgramInput, TradeoffPoint, TunerConfig,
+    dy_config, dy_family, evaluate_program, measure_speedup, pareto_front, DebugTuner, PassRanking,
+    ProgramInput, TradeoffPoint, TunerConfig,
 };
 use dt_metrics::stats;
 use dt_passes::{OptLevel, PassGate, Personality};
@@ -92,7 +92,8 @@ pub fn table01_methods() -> String {
         "Table I — measurement methods on {} synthetic programs (geomean)",
         programs.len()
     );
-    let _ = writeln!(
+    let _ =
+        writeln!(
         out,
         "{:<9} {:<5} | {:>8} {:>10} {:>8} {:>8} | {:>8} {:>10} {:>8} | {:>8} {:>10} {:>8} {:>8}",
         "compiler", "level",
@@ -146,7 +147,10 @@ pub fn table01_methods() -> String {
 pub fn table02_libpng() -> String {
     let p = ProgramInput::from_suite(&dt_testsuite::program("libpng").unwrap(), fuzz_iters());
     let mut out = String::new();
-    let _ = writeln!(out, "Table II — debug information quality on libpng (hybrid)");
+    let _ = writeln!(
+        out,
+        "Table II — debug information quality on libpng (hybrid)"
+    );
     let _ = writeln!(
         out,
         "{:<9} {:<5} {:>14} {:>14} {:>10}",
@@ -247,7 +251,10 @@ pub fn table03_testsuite() -> String {
 /// Table IV: product metric per suite program, gcc vs clang.
 pub fn table04_quality(tuner: &DebugTuner, programs: &[ProgramInput]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table IV — debug information availability on the test suite (product metric)");
+    let _ = writeln!(
+        out,
+        "Table IV — debug information availability on the test suite (product metric)"
+    );
     let _ = writeln!(
         out,
         "{:<10} | {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>7} {:>7} {:>7}",
@@ -260,7 +267,12 @@ pub fn table04_quality(tuner: &DebugTuner, programs: &[ProgramInput]) -> String 
             row.push(tuner.evaluate(p, Personality::Gcc, level).reference.product);
         }
         for &level in clang_levels() {
-            row.push(tuner.evaluate(p, Personality::Clang, level).reference.product);
+            row.push(
+                tuner
+                    .evaluate(p, Personality::Clang, level)
+                    .reference
+                    .product,
+            );
         }
         for (i, v) in row.iter().enumerate() {
             col_values[i].push(*v);
@@ -299,7 +311,11 @@ pub fn table_top_passes(
     personality: Personality,
 ) -> (String, Vec<(OptLevel, PassRanking)>) {
     let mut out = String::new();
-    let which = if personality == Personality::Gcc { "V" } else { "VI" };
+    let which = if personality == Personality::Gcc {
+        "V"
+    } else {
+        "VI"
+    };
     let _ = writeln!(
         out,
         "Table {which} — top 10 critical passes in {} (avg-rank order, %geomean product improvement)",
@@ -344,7 +360,10 @@ pub fn table_top_passes(
 /// Table VII: controllable passes per level and effect breakdown.
 pub fn table07_breakdown(tuner: &DebugTuner, programs: &[ProgramInput]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table VII — gateable passes per level ( >, =, < effect counts )");
+    let _ = writeln!(
+        out,
+        "Table VII — gateable passes per level ( >, =, < effect counts )"
+    );
     let _ = writeln!(
         out,
         "{:<9} {:<5} {:>7} {:>5} {:>5} {:>5}",
@@ -454,7 +473,10 @@ pub fn tradeoff_data(
 /// Table VIII: Δ debuggability and Δ speedup of `Ox-dy` vs `Ox`.
 pub fn table08_tradeoff(gcc: &TradeoffData, clang: &TradeoffData) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table VIII — Ox-dy vs Ox: Δ debug availability (top) and Δ speedup (bottom), %");
+    let _ = writeln!(
+        out,
+        "Table VIII — Ox-dy vs Ox: Δ debug availability (top) and Δ speedup (bottom), %"
+    );
     for (label, data) in [("gcc", gcc), ("clang", clang)] {
         let _ = writeln!(out, "[{label}] Δ debug availability (%)");
         for y in [3, 5, 7, 9] {
@@ -463,7 +485,11 @@ pub fn table08_tradeoff(gcc: &TradeoffData, clang: &TradeoffData) -> String {
                 let point = data.configs.iter().find(|c| c.level == level && c.y == y);
                 match point {
                     Some(p) if ref_prod > 0.0 => {
-                        let _ = write!(row, " {:>7.2}", 100.0 * (p.avg_product - ref_prod) / ref_prod);
+                        let _ = write!(
+                            row,
+                            " {:>7.2}",
+                            100.0 * (p.avg_product - ref_prod) / ref_prod
+                        );
                     }
                     _ => {
                         let _ = write!(row, " {:>7}", "-");
@@ -479,7 +505,8 @@ pub fn table08_tradeoff(gcc: &TradeoffData, clang: &TradeoffData) -> String {
                 let point = data.configs.iter().find(|c| c.level == level && c.y == y);
                 match point {
                     Some(p) if ref_speed > 0.0 => {
-                        let _ = write!(row, " {:>7.2}", 100.0 * (p.speedup - ref_speed) / ref_speed);
+                        let _ =
+                            write!(row, " {:>7.2}", 100.0 * (p.speedup - ref_speed) / ref_speed);
                     }
                     _ => {
                         let _ = write!(row, " {:>7}", "-");
@@ -497,7 +524,11 @@ pub fn table08_tradeoff(gcc: &TradeoffData, clang: &TradeoffData) -> String {
 /// Tables IX/X: per-program quality for `Ox-dy`.
 pub fn table_per_program_dy(data: &TradeoffData) -> String {
     let mut out = String::new();
-    let which = if data.personality == Personality::Gcc { "IX" } else { "X" };
+    let which = if data.personality == Personality::Gcc {
+        "IX"
+    } else {
+        "X"
+    };
     let _ = writeln!(
         out,
         "Table {which} — per-program product metric for {} Ox-dy configurations",
@@ -541,14 +572,21 @@ pub fn table_spec_speedups(gcc: &TradeoffData, clang: &TradeoffData, relative: b
     let workload = workload();
     let mut out = String::new();
     if relative {
-        let _ = writeln!(out, "Table XII — Ox-dy % speedup change vs reference level, per benchmark");
+        let _ = writeln!(
+            out,
+            "Table XII — Ox-dy % speedup change vs reference level, per benchmark"
+        );
     } else {
-        let _ = writeln!(out, "Table XI — speedup over O0 per benchmark, standard and Ox-dy configurations");
+        let _ = writeln!(
+            out,
+            "Table XI — speedup over O0 per benchmark, standard and Ox-dy configurations"
+        );
     }
     for data in [gcc, clang] {
         let _ = writeln!(out, "[{}]", data.personality.name());
         for &(level, _, _) in &data.reference {
-            let std_perf = measure_speedup(data.personality, level, &PassGate::allow_all(), workload);
+            let std_perf =
+                measure_speedup(data.personality, level, &PassGate::allow_all(), workload);
             let _ = writeln!(out, "  level {}:", level.name());
             let mut header = format!("    {:<16} {:>9}", "benchmark", "standard");
             for y in [3, 5, 7, 9] {
@@ -587,13 +625,12 @@ pub fn table_spec_speedups(gcc: &TradeoffData, clang: &TradeoffData, relative: b
 
 /// Tables XIII/XIV + Figure 2: the Pareto analysis.
 pub fn pareto_tables(gcc: &TradeoffData, clang: &TradeoffData) -> (String, String, String) {
-    let mut t13 = String::from(
-        "Table XIII — product metric and Δ% for Ox-dy (Pareto-optimal marked *)\n",
-    );
-    let mut t14 = String::from(
-        "Table XIV — speedup over O0 and Δ% for Ox-dy (Pareto-optimal marked *)\n",
-    );
-    let mut fig = String::from("Figure 2 — debuggability vs speedup scatter (x=product, y=speedup)\n");
+    let mut t13 =
+        String::from("Table XIII — product metric and Δ% for Ox-dy (Pareto-optimal marked *)\n");
+    let mut t14 =
+        String::from("Table XIV — speedup over O0 and Δ% for Ox-dy (Pareto-optimal marked *)\n");
+    let mut fig =
+        String::from("Figure 2 — debuggability vs speedup scatter (x=product, y=speedup)\n");
     for data in [gcc, clang] {
         let mut points: Vec<TradeoffPoint> = Vec::new();
         for &(level, prod, speed) in &data.reference {
@@ -616,8 +653,16 @@ pub fn pareto_tables(gcc: &TradeoffData, clang: &TradeoffData) -> (String, Strin
                 .map(|&(_, prod, speed)| (prod, speed));
             let (dq, ds) = base.map_or((0.0, 0.0), |(bp, bs)| {
                 (
-                    if bp > 0.0 { 100.0 * (p.debug_quality - bp) / bp } else { 0.0 },
-                    if bs > 0.0 { 100.0 * (p.speedup - bs) / bs } else { 0.0 },
+                    if bp > 0.0 {
+                        100.0 * (p.debug_quality - bp) / bp
+                    } else {
+                        0.0
+                    },
+                    if bs > 0.0 {
+                        100.0 * (p.speedup - bs) / bs
+                    } else {
+                        0.0
+                    },
                 )
             });
             let _ = writeln!(
@@ -725,14 +770,19 @@ pub fn fig04_selfcompile(tuner: &DebugTuner, programs: &[ProgramInput]) -> Strin
     for i in 0..steps {
         let v = i % 10;
         input.extend_from_slice(
-            format!("v{v}={};v{}=v{v}*3+{};out v{};", i + 1, (v + 1) % 10, i % 7, (v + 1) % 10)
-                .as_bytes(),
+            format!(
+                "v{v}={};v{}=v{v}*3+{};out v{};",
+                i + 1,
+                (v + 1) % 10,
+                i % 7,
+                (v + 1) % 10
+            )
+            .as_bytes(),
         );
     }
 
-    let mut out = String::from(
-        "Figure 4 — O3-dy AutoFDO vs O3-AutoFDO on the self-compilation workload\n",
-    );
+    let mut out =
+        String::from("Figure 4 — O3-dy AutoFDO vs O3-AutoFDO on the self-compilation workload\n");
     let base_cfg = AutoFdoConfig {
         personality,
         profiling_level: level,

@@ -1,7 +1,8 @@
 //! The lowering proper: statement and expression translation.
 
 use dt_ir::{
-    BinOp, DbgLoc, FuncId, FunctionBuilder, GlobalId, GlobalInfo, Inst, Module, Op, SlotId, UnOp, Value, VarId, VarInfo,
+    BinOp, DbgLoc, FuncId, FunctionBuilder, GlobalId, GlobalInfo, Inst, Module, Op, SlotId, UnOp,
+    Value, VarId, VarInfo,
 };
 use dt_minic::ast::{self, Expr, ExprKind, Program, Stmt, StmtKind};
 use std::collections::HashMap;
@@ -233,8 +234,14 @@ impl<'a> FuncLowerer<'a> {
                 let v = self.lower_expr(value)?;
                 match self.lookup(name) {
                     Some(Place::Array(slot)) => {
-                        self.b
-                            .push(Inst::new(Op::StoreIdx { slot, index: idx, src: v }, line));
+                        self.b.push(Inst::new(
+                            Op::StoreIdx {
+                                slot,
+                                index: idx,
+                                src: v,
+                            },
+                            line,
+                        ));
                     }
                     Some(Place::GlobalArray(g)) | Some(Place::GlobalScalar(g)) => {
                         self.global_sizes.insert(g, true);
@@ -446,8 +453,14 @@ impl<'a> FuncLowerer<'a> {
                 match self.lookup(name) {
                     Some(Place::Array(slot)) => {
                         let dst = self.b.vreg();
-                        self.b
-                            .push(Inst::new(Op::LoadIdx { dst, slot, index: idx }, line));
+                        self.b.push(Inst::new(
+                            Op::LoadIdx {
+                                dst,
+                                slot,
+                                index: idx,
+                            },
+                            line,
+                        ));
                         Value::Reg(dst)
                     }
                     Some(Place::GlobalArray(g)) | Some(Place::GlobalScalar(g)) => {
@@ -491,13 +504,23 @@ impl<'a> FuncLowerer<'a> {
                 self.b.branch(c, then_bb, else_bb, line);
                 self.b.switch_to(then_bb);
                 let tv = self.lower_expr(then_val)?;
-                self.b
-                    .push(Inst::new(Op::Copy { dst: result, src: tv }, then_val.line));
+                self.b.push(Inst::new(
+                    Op::Copy {
+                        dst: result,
+                        src: tv,
+                    },
+                    then_val.line,
+                ));
                 self.b.jump(join, 0);
                 self.b.switch_to(else_bb);
                 let ev = self.lower_expr(else_val)?;
-                self.b
-                    .push(Inst::new(Op::Copy { dst: result, src: ev }, else_val.line));
+                self.b.push(Inst::new(
+                    Op::Copy {
+                        dst: result,
+                        src: ev,
+                    },
+                    else_val.line,
+                ));
                 self.b.jump(join, 0);
                 self.b.switch_to(join);
                 Value::Reg(result)
@@ -642,11 +665,15 @@ mod tests {
     #[test]
     fn dbg_values_declare_slot_locations() {
         let m = lower("int f() { int x = 1; return x; }");
-        let has_slot_dbg = m.funcs[0]
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i.op, Op::DbgValue { loc: DbgLoc::Slot(_), .. }));
+        let has_slot_dbg = m.funcs[0].blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i.op,
+                Op::DbgValue {
+                    loc: DbgLoc::Slot(_),
+                    ..
+                }
+            )
+        });
         assert!(has_slot_dbg);
     }
 

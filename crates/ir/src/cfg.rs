@@ -45,7 +45,7 @@ pub fn reachable_blocks(f: &Function) -> HashSet<BlockId> {
 pub fn postorder(f: &Function) -> Vec<BlockId> {
     let mut order = Vec::new();
     let mut state: Vec<u8> = vec![0; f.blocks.len()]; // 0 unseen, 1 open, 2 done
-    // Iterative DFS with an explicit stack of (block, next-successor).
+                                                      // Iterative DFS with an explicit stack of (block, next-successor).
     let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
     state[f.entry.index()] = 1;
     while let Some(&mut (b, ref mut next)) = stack.last_mut() {

@@ -28,8 +28,8 @@ pub mod inst;
 pub mod liveness;
 pub mod loops;
 pub mod module;
-pub mod profile;
 pub mod printer;
+pub mod profile;
 pub mod verify;
 
 pub use builder::FunctionBuilder;

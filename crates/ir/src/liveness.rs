@@ -18,7 +18,7 @@ impl RegSet {
     /// An empty set sized for `n` registers.
     pub fn new(n: u32) -> Self {
         RegSet {
-            words: vec![0; (n as usize + 63) / 64],
+            words: vec![0; (n as usize).div_ceil(64)],
         }
     }
 
@@ -215,7 +215,10 @@ mod tests {
         let f = simple_loop();
         let lv = Liveness::compute(&f);
         assert!(lv.r#in(BlockId(1)).contains(VReg(0)));
-        assert!(lv.out(BlockId(1)).contains(VReg(0)), "backedge keeps %0 live");
+        assert!(
+            lv.out(BlockId(1)).contains(VReg(0)),
+            "backedge keeps %0 live"
+        );
         assert!(lv.out(BlockId(1)).contains(VReg(1)));
         assert!(!lv.r#in(BlockId(0)).contains(VReg(0)));
     }

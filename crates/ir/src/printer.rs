@@ -100,10 +100,7 @@ fn print_op(op: &Op, f: &Function) -> String {
         Op::InLen { dst } => format!("{dst} = in_len()"),
         Op::Out { src } => format!("out({})", print_val(*src)),
         Op::DbgValue { var, loc } => {
-            let name = f
-                .vars
-                .get(var.index())
-                .map_or("<bad>", |v| v.name.as_str());
+            let name = f.vars.get(var.index()).map_or("<bad>", |v| v.name.as_str());
             let loc = match loc {
                 DbgLoc::Value(v) => print_val(*v),
                 DbgLoc::Slot(s) => s.to_string(),

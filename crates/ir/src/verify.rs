@@ -94,10 +94,10 @@ fn verify_function_in(f: &Function, m: Option<&Module>) -> Result<(), VerifyErro
                 crate::inst::Op::LoadSlot { slot, .. }
                 | crate::inst::Op::StoreSlot { slot, .. }
                 | crate::inst::Op::LoadIdx { slot, .. }
-                | crate::inst::Op::StoreIdx { slot, .. } => {
-                    if slot.index() >= f.slots.len() {
-                        return Err(at("slot out of range"));
-                    }
+                | crate::inst::Op::StoreIdx { slot, .. }
+                    if slot.index() >= f.slots.len() =>
+                {
+                    return Err(at("slot out of range"));
                 }
                 crate::inst::Op::LoadGlobal { global, .. }
                 | crate::inst::Op::StoreGlobal { global, .. }
@@ -116,10 +116,8 @@ fn verify_function_in(f: &Function, m: Option<&Module>) -> Result<(), VerifyErro
                         }
                     }
                 }
-                crate::inst::Op::DbgValue { var, .. } => {
-                    if var.index() >= f.vars.len() {
-                        return Err(at("debug variable out of range"));
-                    }
+                crate::inst::Op::DbgValue { var, .. } if var.index() >= f.vars.len() => {
+                    return Err(at("debug variable out of range"));
                 }
                 _ => {}
             }

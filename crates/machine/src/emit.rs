@@ -19,7 +19,9 @@ use crate::object::{FDbgLoc, FInst, FOp, FuncInfo, Object};
 use crate::regalloc::allocate;
 use crate::BackendConfig;
 use bytes::BytesMut;
-use dt_dwarf::{DebugInfo, LineRow, LineTable, LocList, LocRange, Location, SubprogramRecord, VarRecord};
+use dt_dwarf::{
+    DebugInfo, LineRow, LineTable, LocList, LocRange, Location, SubprogramRecord, VarRecord,
+};
 
 impl FOp {
     /// The physical register defined by this final op, if any.
@@ -86,7 +88,11 @@ pub fn emit_module(mmod: &MModule<VR>, config: &BackendConfig) -> Object {
     for (fi, start, end) in &func_ranges {
         let info = func_infos[*fi as usize].as_mut().unwrap();
         info.low_pc = addrs[*start];
-        info.high_pc = if *end < addrs.len() { addrs[*end] } else { total };
+        info.high_pc = if *end < addrs.len() {
+            addrs[*end]
+        } else {
+            total
+        };
     }
 
     // `.text` encoding.
@@ -190,7 +196,10 @@ fn build_debug_info(
         let mut open: Vec<Option<(Location, u32)>> = vec![None; nvars];
         let func_end = funcs[*fi as usize].high_pc;
 
-        let close = |v: usize, at: u32, open: &mut Vec<Option<(Location, u32)>>, lists: &mut Vec<LocList>| {
+        let close = |v: usize,
+                     at: u32,
+                     open: &mut Vec<Option<(Location, u32)>>,
+                     lists: &mut Vec<LocList>| {
             if let Some((loc, lo)) = open[v].take() {
                 lists[v].push(LocRange { lo, hi: at, loc });
             }
@@ -324,7 +333,11 @@ mod tests {
     fn params_visible_from_function_start() {
         let obj = emit("int f(int a) {\nreturn a + 1;\n}");
         let (idx, info) = obj.func_by_name("f").unwrap();
-        let a = obj.debug.vars_of(idx as usize).find(|v| v.name == "a").unwrap();
+        let a = obj
+            .debug
+            .vars_of(idx as usize)
+            .find(|v| v.name == "a")
+            .unwrap();
         assert!(a.is_param);
         let first = a.loclist.ranges()[0];
         assert!(first.lo <= info.low_pc + 16, "param available early");

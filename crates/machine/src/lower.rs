@@ -77,14 +77,14 @@ impl Lowerer<'_> {
         let start = self.out.len();
         match &inst.op {
             Op::Copy { dst, src } => match src {
-                Value::Reg(r) => self.push(
-                    MOpKind::Mov {
+                Value::Reg(r) => self.push(MOpKind::Mov { rd: dst.0, rs: r.0 }, line),
+                Value::Const(c) => self.push(
+                    MOpKind::Imm {
                         rd: dst.0,
-                        rs: r.0,
+                        value: *c,
                     },
                     line,
                 ),
-                Value::Const(c) => self.push(MOpKind::Imm { rd: dst.0, value: *c }, line),
             },
             Op::Un { dst, op, src } => {
                 let rs = self.reg(*src, line);
@@ -194,7 +194,13 @@ impl Lowerer<'_> {
             }
             Op::LoadGlobal { dst, global } => {
                 let (base, _) = self.global_base(*global);
-                self.push(MOpKind::LdG { rd: dst.0, addr: base }, line);
+                self.push(
+                    MOpKind::LdG {
+                        rd: dst.0,
+                        addr: base,
+                    },
+                    line,
+                );
             }
             Op::StoreGlobal { global, src } => {
                 let rs = self.reg(*src, line);
@@ -218,15 +224,7 @@ impl Lowerer<'_> {
                 let ri = self.reg(*index, line);
                 let rs = self.reg(*src, line);
                 let (base, len) = self.global_base(*global);
-                self.push(
-                    MOpKind::StGIdx {
-                        base,
-                        ri,
-                        rs,
-                        len,
-                    },
-                    line,
-                );
+                self.push(MOpKind::StGIdx { base, ri, rs, len }, line);
             }
             Op::Call { dst, callee, args } => {
                 assert!(
@@ -261,7 +259,13 @@ impl Lowerer<'_> {
                     DbgLoc::Slot(s) => MDbgLoc::Slot(s.0),
                     DbgLoc::Undef => MDbgLoc::Undef,
                 };
-                let mut inst = MInst::new(MOpKind::Dbg { var: var.0, loc: mloc }, line);
+                let mut inst = MInst::new(
+                    MOpKind::Dbg {
+                        var: var.0,
+                        loc: mloc,
+                    },
+                    line,
+                );
                 inst.stmt = false;
                 self.out.push(inst);
             }
@@ -380,7 +384,7 @@ mod tests {
         lower_module(&m)
     }
 
-    fn ops_of<'m>(m: &'m MModule<VR>, f: usize) -> Vec<&'m MOpKind<VR>> {
+    fn ops_of(m: &MModule<VR>, f: usize) -> Vec<&MOpKind<VR>> {
         m.funcs[f]
             .blocks
             .iter()
@@ -435,11 +439,20 @@ mod tests {
         assert_eq!(m.globals, vec![(0, 1, 1), (1, 4, 0), (5, 1, 2)]);
         assert_eq!(m.globals_size, 6);
         let ops = ops_of(&m, 0);
-        assert!(ops.iter().any(|o| matches!(o, MOpKind::LdG { addr: 0, .. })));
         assert!(ops
             .iter()
-            .any(|o| matches!(o, MOpKind::LdGIdx { base: 1, len: 4, .. })));
-        assert!(ops.iter().any(|o| matches!(o, MOpKind::LdG { addr: 5, .. })));
+            .any(|o| matches!(o, MOpKind::LdG { addr: 0, .. })));
+        assert!(ops.iter().any(|o| matches!(
+            o,
+            MOpKind::LdGIdx {
+                base: 1,
+                len: 4,
+                ..
+            }
+        )));
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, MOpKind::LdG { addr: 5, .. })));
     }
 
     #[test]

@@ -26,34 +26,115 @@ pub enum FDbgLoc {
 /// are **global instruction indices** into [`Object::code`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FOp {
-    Imm { rd: u8, value: i64 },
-    Mov { rd: u8, rs: u8 },
-    Un { op: UnOp, rd: u8, rs: u8 },
-    Bin { op: BinOp, rd: u8, ra: u8, rb: u8 },
-    BinImm { op: BinOp, rd: u8, ra: u8, imm: i64 },
-    Select { rd: u8, rc: u8, ra: u8, rb: u8 },
+    Imm {
+        rd: u8,
+        value: i64,
+    },
+    Mov {
+        rd: u8,
+        rs: u8,
+    },
+    Un {
+        op: UnOp,
+        rd: u8,
+        rs: u8,
+    },
+    Bin {
+        op: BinOp,
+        rd: u8,
+        ra: u8,
+        rb: u8,
+    },
+    BinImm {
+        op: BinOp,
+        rd: u8,
+        ra: u8,
+        imm: i64,
+    },
+    Select {
+        rd: u8,
+        rc: u8,
+        ra: u8,
+        rb: u8,
+    },
     /// `rd = frame[off]` (word offset within the frame).
-    LdSlot { rd: u8, off: u32 },
-    StSlot { off: u32, rs: u8 },
-    LdIdx { rd: u8, off: u32, ri: u8, len: u32 },
-    StIdx { off: u32, ri: u8, rs: u8, len: u32 },
-    LdG { rd: u8, addr: u32 },
-    StG { addr: u32, rs: u8 },
-    LdGIdx { rd: u8, base: u32, ri: u8, len: u32 },
-    StGIdx { base: u32, ri: u8, rs: u8, len: u32 },
-    SetArg { k: u8, rs: u8 },
-    GetArg { rd: u8, k: u8 },
+    LdSlot {
+        rd: u8,
+        off: u32,
+    },
+    StSlot {
+        off: u32,
+        rs: u8,
+    },
+    LdIdx {
+        rd: u8,
+        off: u32,
+        ri: u8,
+        len: u32,
+    },
+    StIdx {
+        off: u32,
+        ri: u8,
+        rs: u8,
+        len: u32,
+    },
+    LdG {
+        rd: u8,
+        addr: u32,
+    },
+    StG {
+        addr: u32,
+        rs: u8,
+    },
+    LdGIdx {
+        rd: u8,
+        base: u32,
+        ri: u8,
+        len: u32,
+    },
+    StGIdx {
+        base: u32,
+        ri: u8,
+        rs: u8,
+        len: u32,
+    },
+    SetArg {
+        k: u8,
+        rs: u8,
+    },
+    GetArg {
+        rd: u8,
+        k: u8,
+    },
     /// Call of module function `func` (index into [`Object::funcs`]).
-    CallF { func: u32 },
+    CallF {
+        func: u32,
+    },
     /// Return; the value (if any) is in `r0`.
     Ret,
-    Jmp { target: u32 },
-    JCond { rs: u8, if_nonzero: bool, target: u32 },
-    In { rd: u8, ri: u8 },
-    InLen { rd: u8 },
-    Out { rs: u8 },
+    Jmp {
+        target: u32,
+    },
+    JCond {
+        rs: u8,
+        if_nonzero: bool,
+        target: u32,
+    },
+    In {
+        rd: u8,
+        ri: u8,
+    },
+    InLen {
+        rd: u8,
+    },
+    Out {
+        rs: u8,
+    },
     /// Zero-size debug pseudo (`var` is function-local).
-    Dbg { var: u32, loc: FDbgLoc },
+    Dbg {
+        var: u32,
+        loc: FDbgLoc,
+    },
 }
 
 /// A final instruction with its debug metadata.
@@ -324,6 +405,43 @@ impl Object {
     pub fn text_eq(&self, other: &Object) -> bool {
         self.text == other.text
     }
+
+    /// Stable content hash over everything that determines an object's
+    /// observable behavior *and* its debug-session outcome: the encoded
+    /// `.text` section, the encoded debug sections, the global data
+    /// image, and the function table (names and frame metadata feed
+    /// both execution and trace observations). Two objects with equal
+    /// `content_hash` produce identical traces and metrics for the same
+    /// inputs, so the hash can key a shared trace/metric cache across
+    /// compilation variants. Sections are length-prefixed to keep the
+    /// hash unambiguous under concatenation.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut feed = |bytes: &[u8]| {
+            for &b in (bytes.len() as u64).to_le_bytes().iter().chain(bytes) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        feed(&self.text);
+        feed(&self.debug.encode());
+        for &(base, size, init) in &self.globals {
+            feed(&base.to_le_bytes());
+            feed(&size.to_le_bytes());
+            feed(&init.to_le_bytes());
+        }
+        feed(&self.globals_size.to_le_bytes());
+        for f in &self.funcs {
+            feed(f.name.as_bytes());
+            feed(&f.low_pc.to_le_bytes());
+            feed(&f.high_pc.to_le_bytes());
+            feed(&f.frame_size.to_le_bytes());
+            feed(&f.nparams.to_le_bytes());
+            feed(&[f.shrink_wrapped as u8]);
+            feed(&f.decl_line.to_le_bytes());
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -442,5 +560,37 @@ mod tests {
             opcodes.insert(buf[0]);
         }
         assert_eq!(opcodes.len(), 16);
+    }
+
+    fn build(src: &str) -> Object {
+        let m = dt_frontend::lower_source(src).unwrap();
+        crate::run_backend(&m, &crate::BackendConfig::default())
+    }
+
+    #[test]
+    fn content_hash_is_deterministic_and_content_addressed() {
+        let a = build("int f(int x) { return x + 1; }");
+        let b = build("int f(int x) { return x + 1; }");
+        assert_eq!(a.content_hash(), b.content_hash(), "same source, same hash");
+        let c = build("int f(int x) { return x + 2; }");
+        assert_ne!(
+            a.content_hash(),
+            c.content_hash(),
+            "different text, different hash"
+        );
+    }
+
+    #[test]
+    fn content_hash_covers_metadata_beyond_text() {
+        let a = build("int f(int x) { return x + 1; }");
+        // Identical `.text`, different function metadata: the debug
+        // session observes frame metadata, so the cache key must too.
+        let mut b = a.clone();
+        b.funcs[0].decl_line += 1;
+        assert_eq!(a.text, b.text);
+        assert_ne!(a.content_hash(), b.content_hash());
+        let mut c = a.clone();
+        c.globals_size += 1;
+        assert_ne!(a.content_hash(), c.content_hash());
     }
 }

@@ -262,8 +262,16 @@ mod tests {
                 },
                 2,
             ),
-            block(vec![MInst::new(MOpKind::Out { rs: 0 }, 3)], MTerm::Jmp(3), 0),
-            block(vec![MInst::new(MOpKind::Out { rs: 0 }, 5)], MTerm::Jmp(3), 0),
+            block(
+                vec![MInst::new(MOpKind::Out { rs: 0 }, 3)],
+                MTerm::Jmp(3),
+                0,
+            ),
+            block(
+                vec![MInst::new(MOpKind::Out { rs: 0 }, 5)],
+                MTerm::Jmp(3),
+                0,
+            ),
             block(vec![], MTerm::Ret(None), 7),
         ]);
         run(&mut f);

@@ -144,16 +144,17 @@ fn ops_match(
     if a_norm != b_norm || a_regs.len() != b_regs.len() || a_defs.len() != b_defs.len() {
         return false;
     }
-    let consistent = |ra: VR, rb: VR, map: &mut HashMap<VR, VR>, rmap: &mut HashMap<VR, VR>| {
-        match (map.get(&ra), rmap.get(&rb)) {
-            (None, None) => {
-                map.insert(ra, rb);
-                rmap.insert(rb, ra);
-                true
-            }
-            (Some(&m), Some(&rm)) => m == rb && rm == ra,
-            _ => false,
+    let consistent = |ra: VR, rb: VR, map: &mut HashMap<VR, VR>, rmap: &mut HashMap<VR, VR>| match (
+        map.get(&ra),
+        rmap.get(&rb),
+    ) {
+        (None, None) => {
+            map.insert(ra, rb);
+            rmap.insert(rb, ra);
+            true
         }
+        (Some(&m), Some(&rm)) => m == rb && rm == ra,
+        _ => false,
     };
     for (&ra, &rb) in a_regs.iter().zip(&b_regs) {
         if ra == rb && !defined_a.contains(&ra) && !defined_b.contains(&rb) {

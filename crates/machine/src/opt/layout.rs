@@ -130,9 +130,8 @@ mod tests {
 
     #[test]
     fn displaced_blocks_lose_terminator_lines() {
-        let mut mm = machine(
-            "int f(int c) {\nif (c) {\nout(1);\n} else {\nout(2);\n}\nreturn 0;\n}",
-        );
+        let mut mm =
+            machine("int f(int c) {\nif (c) {\nout(1);\n} else {\nout(2);\n}\nreturn 0;\n}");
         let f = &mut mm.funcs[0];
         for b in 0..f.blocks.len() {
             if let MTerm::JCond { prob_then, .. } = &mut f.blocks[b].term {

@@ -102,7 +102,9 @@ fn schedule_block(insts: Vec<MInst<VR>>) -> Vec<MInst<VR>> {
             }
             last_barrier = Some(i);
         }
-        u.main().op.for_each_use(|r| last_uses.entry(r).or_default().push(i));
+        u.main()
+            .op
+            .for_each_use(|r| last_uses.entry(r).or_default().push(i));
         if let Some(d) = u.main().op.def() {
             last_def.insert(d, i);
             last_uses.remove(&d);
@@ -274,7 +276,10 @@ mod tests {
         let mut defined: std::collections::HashSet<VR> = Default::default();
         for inst in &after {
             inst.op.for_each_use(|r| {
-                assert!(defined.contains(&r), "use of {r} before def after scheduling");
+                assert!(
+                    defined.contains(&r),
+                    "use of {r} before def after scheduling"
+                );
             });
             if let Some(d) = inst.op.def() {
                 defined.insert(d);

@@ -58,24 +58,40 @@ pub fn run(f: &mut MFunction<VR>) {
                 continue;
             }
             let Some(d) = inst.op.def() else { continue };
-            // Used later in this block (including the terminator)?
-            let mut used_later = false;
+            // Operands as evaluated at position `i`.
+            let mut operands: Vec<VR> = Vec::new();
+            inst.op.for_each_use(|r| operands.push(r));
+            // Blocked when `d` is used later in this block (including
+            // the terminator), when `d` is redefined later (the
+            // successor's use refers to the *later* def, which the sunk
+            // instruction would clobber), or when an operand is
+            // redefined later (the sunk computation would read the new
+            // value).
+            let mut blocked = false;
             for later in &f.blocks[b as usize].insts[i + 1..] {
                 if later.op.is_dbg() {
                     continue;
                 }
-                later.op.for_each_use(|r| used_later |= r == d);
-                if later.op.def() == Some(d) {
-                    break; // redefined; earlier def is block-local
+                later.op.for_each_use(|r| blocked |= r == d);
+                if let Some(ld) = later.op.def() {
+                    blocked |= ld == d;
+                    blocked |= operands.contains(&ld);
+                }
+                if blocked {
+                    break;
                 }
             }
-            f.blocks[b as usize].term.for_each_use(|r| used_later |= r == d);
-            if used_later {
+            f.blocks[b as usize]
+                .term
+                .for_each_use(|r| blocked |= r == d);
+            if blocked {
                 continue;
             }
             // Which successor uses it?
             let ub = use_blocks.get(&d).cloned().unwrap_or_default();
-            let target = if ub == [then_bb] && !live.live_in[else_bb as usize].contains(dt_ir::VReg(d)) {
+            let target = if ub == [then_bb]
+                && !live.live_in[else_bb as usize].contains(dt_ir::VReg(d))
+            {
                 then_bb
             } else if ub == [else_bb] && !live.live_in[then_bb as usize].contains(dt_ir::VReg(d)) {
                 else_bb
@@ -96,7 +112,8 @@ pub fn run(f: &mut MFunction<VR>) {
             // An attached Dbg pseudo referencing d directly after it?
             while i < f.blocks[b as usize].insts.len() {
                 let next = &f.blocks[b as usize].insts[i];
-                let attached = matches!(next.op, MOpKind::Dbg { loc: MDbgLoc::Reg(r), .. } if r == d);
+                let attached =
+                    matches!(next.op, MOpKind::Dbg { loc: MDbgLoc::Reg(r), .. } if r == d);
                 if !attached {
                     break;
                 }
@@ -255,7 +272,9 @@ mod tests {
     fn does_not_sink_values_used_on_both_paths() {
         let mut f = sinkable();
         // Make the else block also use %1.
-        f.blocks[2].insts.push(MInst::new(MOpKind::Out { rs: 1 }, 6));
+        f.blocks[2]
+            .insts
+            .push(MInst::new(MOpKind::Out { rs: 1 }, 6));
         run(&mut f);
         let entry_has_mul = f.blocks[0]
             .insts
@@ -264,11 +283,63 @@ mod tests {
         assert!(entry_has_mul, "value used on both paths must not sink");
     }
 
+    /// Regression: a *dead* first definition must not sink past a live
+    /// redefinition of the same register. The load redefines %1 and
+    /// cannot sink itself; sinking the dead multiply would make it
+    /// clobber the load's value at the head of the successor.
+    #[test]
+    fn does_not_sink_dead_def_past_redefinition() {
+        let mut f = sinkable();
+        f.slot_sizes = vec![1];
+        // entry: ... mul %1, %0, 7 ; %1 = frame[0] ; jcond %0
+        f.blocks[0]
+            .insts
+            .insert(2, MInst::new(MOpKind::LdSlot { rd: 1, slot: 0 }, 2));
+        run(&mut f);
+        let entry_has_mul = f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, MOpKind::BinImm { .. }));
+        assert!(
+            entry_has_mul,
+            "dead def must not sink past a redefinition of its register"
+        );
+    }
+
+    /// Regression: an instruction must not sink past a redefinition of
+    /// one of its *operands* — in the successor it would read the new
+    /// value instead of the one at its original program point.
+    #[test]
+    fn does_not_sink_past_operand_redefinition() {
+        use dt_ir::BinOp;
+        let mut f = sinkable();
+        // entry: ... mul %1, %0, 7 ; add %0, %0, 1 ; jcond %0
+        f.blocks[0].insts.insert(
+            2,
+            MInst::new(
+                MOpKind::BinImm {
+                    op: BinOp::Add,
+                    rd: 0,
+                    ra: 0,
+                    imm: 1,
+                },
+                3,
+            ),
+        );
+        run(&mut f);
+        let entry_has_mul = f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, MOpKind::BinImm { op: BinOp::Mul, .. }));
+        assert!(
+            entry_has_mul,
+            "instruction must not sink past a redefinition of its operand"
+        );
+    }
+
     #[test]
     fn o0_slot_code_is_untouched() {
-        let mut mm = machine(
-            "int f(int c) { int t = c * 3; if (c) { out(t); } return 0; }",
-        );
+        let mut mm = machine("int f(int c) { int t = c * 3; if (c) { out(t); } return 0; }");
         let before = mm.funcs[0].clone();
         run(&mut mm.funcs[0]);
         // At O0 the multiply's result goes to a store (side effect), so

@@ -38,18 +38,16 @@ enum Assignment {
 
 /// Allocates registers for `f` and linearizes it along `f.layout`.
 pub fn allocate(f: &MFunction<VR>, share_spill_slots: bool) -> AllocResult {
-    assert!(!f.layout.is_empty(), "layout must be computed before regalloc");
+    assert!(
+        !f.layout.is_empty(),
+        "layout must be computed before regalloc"
+    );
     assert_eq!(f.layout[0], f.entry, "entry must lead the layout");
 
     let (intervals, call_positions) = build_intervals(f);
     let user_words: u32 = f.slot_sizes.iter().sum();
     let slot_offsets = slot_offsets(&f.slot_sizes);
-    let assignment = run_linear_scan(
-        &intervals,
-        &call_positions,
-        user_words,
-        share_spill_slots,
-    );
+    let assignment = run_linear_scan(&intervals, &call_positions, user_words, share_spill_slots);
 
     let max_spill = assignment
         .values()
@@ -131,8 +129,13 @@ fn build_intervals(f: &MFunction<VR>) -> (Vec<(VR, u32, u32)>, Vec<u32>) {
     let mut starts: HashMap<VR, u32> = HashMap::new();
     let mut ends: HashMap<VR, u32> = HashMap::new();
     let extend = |r: VR, pos: u32, starts: &mut HashMap<VR, u32>, ends: &mut HashMap<VR, u32>| {
-        starts.entry(r).and_modify(|s| *s = (*s).min(pos)).or_insert(pos);
-        ends.entry(r).and_modify(|e| *e = (*e).max(pos)).or_insert(pos);
+        starts
+            .entry(r)
+            .and_modify(|s| *s = (*s).min(pos))
+            .or_insert(pos);
+        ends.entry(r)
+            .and_modify(|e| *e = (*e).max(pos))
+            .or_insert(pos);
     };
     let mut calls = Vec::new();
     let mut pos = 0u32;
@@ -146,7 +149,8 @@ fn build_intervals(f: &MFunction<VR>) -> (Vec<(VR, u32, u32)>, Vec<u32>) {
             if inst.op.is_dbg() {
                 continue; // pseudos occupy no position
             }
-            inst.op.for_each_use(|r| extend(r, pos, &mut starts, &mut ends));
+            inst.op
+                .for_each_use(|r| extend(r, pos, &mut starts, &mut ends));
             if let Some(d) = inst.op.def() {
                 extend(d, pos, &mut starts, &mut ends);
             }
@@ -155,7 +159,8 @@ fn build_intervals(f: &MFunction<VR>) -> (Vec<(VR, u32, u32)>, Vec<u32>) {
             }
             pos += 1;
         }
-        blk.term.for_each_use(|r| extend(r, pos, &mut starts, &mut ends));
+        blk.term
+            .for_each_use(|r| extend(r, pos, &mut starts, &mut ends));
         pos += 1; // terminator position
         let block_end = pos;
         for r in live_out[b as usize].iter() {
@@ -163,10 +168,8 @@ fn build_intervals(f: &MFunction<VR>) -> (Vec<(VR, u32, u32)>, Vec<u32>) {
         }
     }
 
-    let mut intervals: Vec<(VR, u32, u32)> = starts
-        .iter()
-        .map(|(&r, &s)| (r, s, ends[&r]))
-        .collect();
+    let mut intervals: Vec<(VR, u32, u32)> =
+        starts.iter().map(|(&r, &s)| (r, s, ends[&r])).collect();
     intervals.sort_by_key(|&(r, s, _)| (s, r));
     (intervals, calls)
 }
@@ -190,25 +193,23 @@ fn run_linear_scan(
     let mut slot_pool: Vec<(u32, u32)> = Vec::new();
     let mut next_slot = spill_base;
 
-    let alloc_slot = |start: u32,
-                          end: u32,
-                          slot_pool: &mut Vec<(u32, u32)>,
-                          next_slot: &mut u32| {
-        if share_spill_slots {
-            if let Some(entry) = slot_pool.iter_mut().find(|(e, _)| *e < start) {
-                entry.0 = end;
-                return entry.1;
+    let alloc_slot =
+        |start: u32, end: u32, slot_pool: &mut Vec<(u32, u32)>, next_slot: &mut u32| {
+            if share_spill_slots {
+                if let Some(entry) = slot_pool.iter_mut().find(|(e, _)| *e < start) {
+                    entry.0 = end;
+                    return entry.1;
+                }
+                let off = *next_slot;
+                *next_slot += 1;
+                slot_pool.push((end, off));
+                off
+            } else {
+                let s = *next_slot;
+                *next_slot += 1;
+                s
             }
-            let off = *next_slot;
-            *next_slot += 1;
-            slot_pool.push((end, off));
-            off
-        } else {
-            let s = *next_slot;
-            *next_slot += 1;
-            s
-        }
-    };
+        };
 
     for &(v, s, e) in intervals {
         active.retain(|&(end, _, reg, _)| {
@@ -446,14 +447,21 @@ fn rewrite_inst(
     };
 
     let fop = match &inst.op {
-        MOpKind::Imm { value, .. } => Some(FOp::Imm { rd: dst, value: *value }),
+        MOpKind::Imm { value, .. } => Some(FOp::Imm {
+            rd: dst,
+            value: *value,
+        }),
         MOpKind::Mov { .. } => {
             let rs = next_use();
             Some(FOp::Mov { rd: dst, rs })
         }
         MOpKind::Un { op, .. } => {
             let rs = next_use();
-            Some(FOp::Un { op: *op, rd: dst, rs })
+            Some(FOp::Un {
+                op: *op,
+                rd: dst,
+                rs,
+            })
         }
         MOpKind::Bin { op, .. } => {
             let ra = next_use();
@@ -515,7 +523,10 @@ fn rewrite_inst(
                 len: *len,
             })
         }
-        MOpKind::LdG { addr, .. } => Some(FOp::LdG { rd: dst, addr: *addr }),
+        MOpKind::LdG { addr, .. } => Some(FOp::LdG {
+            rd: dst,
+            addr: *addr,
+        }),
         MOpKind::StG { addr, .. } => {
             let rs = next_use();
             Some(FOp::StG { addr: *addr, rs })

@@ -68,11 +68,7 @@ pub fn hybrid(opt: &DebugTrace, base: &DebugTrace, analysis: &SourceAnalysis) ->
     compare_traces(opt, base, Some(analysis))
 }
 
-fn compare_traces(
-    opt: &DebugTrace,
-    base: &DebugTrace,
-    refine: Option<&SourceAnalysis>,
-) -> Metrics {
+fn compare_traces(opt: &DebugTrace, base: &DebugTrace, refine: Option<&SourceAnalysis>) -> Metrics {
     let base_lines = base.stepped_lines();
     if base_lines.is_empty() {
         return Metrics::perfect();
@@ -94,10 +90,7 @@ fn compare_traces(
             continue;
         }
         let opt_vars = &opt.lines[&line].vars;
-        let num = denom
-            .iter()
-            .filter(|v| opt_vars.contains(**v))
-            .count();
+        let num = denom.iter().filter(|v| opt_vars.contains(**v)).count();
         ratios.push(num as f64 / denom.len() as f64);
     }
     let availability = if ratios.is_empty() {
@@ -131,10 +124,7 @@ fn static_inner(
     // restricted baseline set).
     let steppable = debug.steppable_lines();
     let (covered, universe) = match restrict {
-        Some(base_lines) => (
-            steppable.intersection(base_lines).count(),
-            base_lines.len(),
-        ),
+        Some(base_lines) => (steppable.intersection(base_lines).count(), base_lines.len()),
         None => {
             let mut code_lines: BTreeSet<u32> = BTreeSet::new();
             for f in analysis.functions() {
@@ -263,10 +253,7 @@ mod tests {
 
     #[test]
     fn identical_traces_score_perfect() {
-        let base = trace(vec![
-            (2, obs("f", &["x"])),
-            (3, obs("f", &["x", "y"])),
-        ]);
+        let base = trace(vec![(2, obs("f", &["x"])), (3, obs("f", &["x", "y"]))]);
         let m = dynamic(&base.clone(), &base);
         assert_eq!(m.availability, 1.0);
         assert_eq!(m.line_coverage, 1.0);

@@ -111,11 +111,7 @@ impl SourceAnalysis {
     }
 
     /// Names of the variables defined and in scope at `line` of `func`.
-    pub fn defined_at<'a>(
-        &'a self,
-        func: &str,
-        line: u32,
-    ) -> impl Iterator<Item = &'a str> + 'a {
+    pub fn defined_at<'a>(&'a self, func: &str, line: u32) -> impl Iterator<Item = &'a str> + 'a {
         self.funcs
             .get(func)
             .into_iter()
@@ -184,7 +180,12 @@ fn collect_block(
     // The lexical scope of a declaration in this list ends at the last
     // line occupied by the list itself (approximating the closing brace
     // of the block that contains it).
-    let block_end = stmts.iter().map(stmt_span_end).max().unwrap_or(0).min(scope_end);
+    let block_end = stmts
+        .iter()
+        .map(stmt_span_end)
+        .max()
+        .unwrap_or(0)
+        .min(scope_end);
     let block_end = if block_end == 0 { scope_end } else { block_end };
 
     for stmt in stmts {
@@ -331,9 +332,7 @@ int f(int n) {
 
     #[test]
     fn block_scoped_var_ends_with_block() {
-        let a = analyze(
-            "int f() {\nint x = 1;\n{\nint y = 2;\nx = y;\n}\nreturn x;\n}",
-        );
+        let a = analyze("int f() {\nint x = 1;\n{\nint y = 2;\nx = y;\n}\nreturn x;\n}");
         let f = a.function("f").unwrap();
         let y = f.var("y").unwrap();
         assert!(y.covers(5));

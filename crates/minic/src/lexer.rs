@@ -128,9 +128,15 @@ impl<'a> Lexer<'a> {
             b'?' => self.single(TokenKind::Question),
             b':' => self.single(TokenKind::Colon),
             b'~' => self.single(TokenKind::Tilde),
-            b'+' => self.multi(&[("++", TokenKind::PlusPlus), ("+=", TokenKind::PlusAssign)], TokenKind::Plus),
+            b'+' => self.multi(
+                &[("++", TokenKind::PlusPlus), ("+=", TokenKind::PlusAssign)],
+                TokenKind::Plus,
+            ),
             b'-' => self.multi(
-                &[("--", TokenKind::MinusMinus), ("-=", TokenKind::MinusAssign)],
+                &[
+                    ("--", TokenKind::MinusMinus),
+                    ("-=", TokenKind::MinusAssign),
+                ],
                 TokenKind::Minus,
             ),
             b'*' => self.multi(&[("*=", TokenKind::StarAssign)], TokenKind::Star),

@@ -552,7 +552,10 @@ impl Parser {
 
     fn additive(&mut self) -> Result<Expr, ParseError> {
         self.binary_level(
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
             Self::multiplicative,
         )
     }
@@ -761,7 +764,11 @@ mod tests {
         let f = parse_fn("return 1 + 2 * 3;");
         match &f.body[0].kind {
             StmtKind::Return(Some(e)) => match &e.kind {
-                ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+                ExprKind::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("expected add at top, got {other:?}"),

@@ -65,7 +65,13 @@ fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
             let _ = writeln!(out, "{} = {};", name, print_expr(value));
         }
         StmtKind::Store { name, index, value } => {
-            let _ = writeln!(out, "{}[{}] = {};", name, print_expr(index), print_expr(value));
+            let _ = writeln!(
+                out,
+                "{}[{}] = {};",
+                name,
+                print_expr(index),
+                print_expr(value)
+            );
         }
         StmtKind::If {
             cond,
@@ -213,11 +219,7 @@ mod tests {
         for s in stmts {
             s.line = 0;
             match &mut s.kind {
-                StmtKind::Decl { init, .. } => {
-                    if let Some(e) = init {
-                        strip_lines_expr(e);
-                    }
-                }
+                StmtKind::Decl { init: Some(e), .. } => strip_lines_expr(e),
                 StmtKind::Assign { value, .. } => strip_lines_expr(value),
                 StmtKind::Store { index, value, .. } => {
                     strip_lines_expr(index);

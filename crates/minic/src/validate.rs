@@ -58,7 +58,10 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
         match item {
             Item::Function(f) => {
                 if builtin_arity(&f.name).is_some() {
-                    return Err(err(f.line, format!("function `{}` shadows a builtin", f.name)));
+                    return Err(err(
+                        f.line,
+                        format!("function `{}` shadows a builtin", f.name),
+                    ));
                 }
                 if func_arity.insert(&f.name, f.params.len()).is_some() {
                     return Err(err(f.line, format!("duplicate function `{}`", f.name)));
@@ -285,20 +288,19 @@ impl FuncChecker<'_> {
                 self.check_expr(else_val)
             }
             ExprKind::Call { callee, args } => {
-                let arity = builtin_arity(callee)
-                    .or_else(|| self.func_arity.get(callee.as_str()).copied());
+                let arity =
+                    builtin_arity(callee).or_else(|| self.func_arity.get(callee.as_str()).copied());
                 match arity {
                     Some(n) if n == args.len() => {}
                     Some(n) => {
                         return Err(err(
                             line,
-                            format!(
-                                "`{callee}` expects {n} argument(s), got {}",
-                                args.len()
-                            ),
+                            format!("`{callee}` expects {n} argument(s), got {}", args.len()),
                         ))
                     }
-                    None => return Err(err(line, format!("call to undefined function `{callee}`"))),
+                    None => {
+                        return Err(err(line, format!("call to undefined function `{callee}`")))
+                    }
                 }
                 for a in args {
                     self.check_expr(a)?;

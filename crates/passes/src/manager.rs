@@ -179,7 +179,12 @@ pub fn run_pipeline(
         }
         inst.pass.run(module, config);
         cleanup(module);
-        debug_assert_eq!(dt_ir::verify_module(module).err(), None, "after {}", inst.name);
+        debug_assert_eq!(
+            dt_ir::verify_module(module).err(),
+            None,
+            "after {}",
+            inst.name
+        );
     }
 }
 

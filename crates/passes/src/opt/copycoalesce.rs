@@ -155,14 +155,22 @@ mod tests {
             .iter()
             .flat_map(|f| f.blocks.iter())
             .flat_map(|b| b.insts.iter())
-            .filter(|i| matches!(i.op, Op::Copy { src: Value::Reg(_), .. }))
+            .filter(|i| {
+                matches!(
+                    i.op,
+                    Op::Copy {
+                        src: Value::Reg(_),
+                        ..
+                    }
+                )
+            })
             .count()
     }
 
     fn check(m: &Module, args: &[i64], expected: i64) {
         let obj = dt_machine::run_backend(m, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, expected);
     }
 
@@ -179,21 +187,17 @@ mod tests {
         let src = "int f(int n) { int i = 0; while (i < n) { i = i + 1; } return i; }";
         let m = pipeline(src, true);
         // The increment must now be a direct `i = i + 1`.
-        let canonical = m.funcs[0]
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|inst| {
-                matches!(
-                    inst.op,
-                    Op::Bin {
-                        dst,
-                        op: dt_ir::BinOp::Add,
-                        lhs: Value::Reg(src),
-                        rhs: Value::Const(1),
-                    } if dst == src
-                )
-            });
+        let canonical = m.funcs[0].blocks.iter().flat_map(|b| &b.insts).any(|inst| {
+            matches!(
+                inst.op,
+                Op::Bin {
+                    dst,
+                    op: dt_ir::BinOp::Add,
+                    lhs: Value::Reg(src),
+                    rhs: Value::Const(1),
+                } if dst == src
+            )
+        });
         assert!(canonical, "increment should write the variable directly");
         check(&m, &[7], 7);
     }
@@ -202,7 +206,7 @@ mod tests {
     fn ter_protects_debug_bindings() {
         // A dbg.value of x between t's def and the copy blocks ter but
         // not coalesce-vars. Construct the shape directly.
-        use dt_ir::{DbgLoc, FunctionBuilder, Inst, VarInfo, VReg};
+        use dt_ir::{DbgLoc, FunctionBuilder, Inst, VReg, VarInfo};
         let build = || {
             let mut b = FunctionBuilder::new("f", 1, 1);
             let var = b.var(VarInfo {
@@ -249,12 +253,28 @@ mod tests {
         let copies1 = m1.funcs[0].blocks[0]
             .insts
             .iter()
-            .filter(|i| matches!(i.op, Op::Copy { src: Value::Reg(_), .. }))
+            .filter(|i| {
+                matches!(
+                    i.op,
+                    Op::Copy {
+                        src: Value::Reg(_),
+                        ..
+                    }
+                )
+            })
             .count();
         let copies2 = m2.funcs[0].blocks[0]
             .insts
             .iter()
-            .filter(|i| matches!(i.op, Op::Copy { src: Value::Reg(_), .. }))
+            .filter(|i| {
+                matches!(
+                    i.op,
+                    Op::Copy {
+                        src: Value::Reg(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(copies1, 1, "ter must protect the observed binding");
         assert_eq!(copies2, 0, "coalesce-vars sacrifices it");
@@ -262,7 +282,8 @@ mod tests {
 
     #[test]
     fn semantics_preserved_in_loops() {
-        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s = s + i * i; } return s; }";
+        let src =
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s = s + i * i; } return s; }";
         let m = pipeline(src, true);
         check(&m, &[5], 30);
     }

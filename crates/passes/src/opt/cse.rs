@@ -8,7 +8,7 @@
 //! the two-step dance real compilers perform.
 
 use crate::manager::PassConfig;
-use dt_ir::{Function, MemEffect, Module, Op, UnOp, Value, VReg};
+use dt_ir::{Function, MemEffect, Module, Op, UnOp, VReg, Value};
 use std::collections::HashMap;
 
 /// Hashable key for a pure expression or a memory read.
@@ -264,7 +264,9 @@ mod tests {
             &[5],
             50,
         );
-        let calls = m.func_by_name("f").unwrap()
+        let calls = m
+            .func_by_name("f")
+            .unwrap()
             .blocks
             .iter()
             .flat_map(|b| &b.insts)

@@ -123,32 +123,38 @@ mod tests {
 
     #[test]
     fn gcc_policy_drops_bindings() {
-        let m = pipeline("int f(int a) { int unused = a * 100; return a + 1; }", false);
-        let undef_dbg = m.funcs[0]
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i.op, Op::DbgValue { loc: DbgLoc::Undef, .. }));
-        assert!(undef_dbg, "`unused` must become unavailable under gcc policy");
+        let m = pipeline(
+            "int f(int a) { int unused = a * 100; return a + 1; }",
+            false,
+        );
+        let undef_dbg = m.funcs[0].blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i.op,
+                Op::DbgValue {
+                    loc: DbgLoc::Undef,
+                    ..
+                }
+            )
+        });
+        assert!(
+            undef_dbg,
+            "`unused` must become unavailable under gcc policy"
+        );
     }
 
     #[test]
     fn clang_policy_salvages_constants() {
         let m = pipeline("int f() { int x = 6 * 7; return 0; }", true);
         // x's computation is dead, but its binding survives as a const.
-        let const_dbg = m.funcs[0]
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| {
-                matches!(
-                    i.op,
-                    Op::DbgValue {
-                        loc: DbgLoc::Value(Value::Const(42)),
-                        ..
-                    }
-                )
-            });
+        let const_dbg = m.funcs[0].blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i.op,
+                Op::DbgValue {
+                    loc: DbgLoc::Value(Value::Const(42)),
+                    ..
+                }
+            )
+        });
         assert!(const_dbg, "clang salvages the constant binding");
     }
 

@@ -215,8 +215,8 @@ mod tests {
         assert_eq!(global_stores, 1);
         // Semantics preserved.
         let obj = dt_machine::run_backend(&m, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", &[5], &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", &[5], &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, 6);
     }
 
@@ -236,8 +236,8 @@ mod tests {
         let mut m = dt_frontend::lower_source(src).unwrap();
         run(&mut m, &PassConfig::default());
         let obj = dt_machine::run_backend(&m, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", &[7], &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", &[7], &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, 7, "the first store must survive the call barrier");
     }
 
@@ -247,8 +247,8 @@ mod tests {
         let mut m = dt_frontend::lower_source(src).unwrap();
         run(&mut m, &PassConfig::default());
         let obj = dt_machine::run_backend(&m, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", &[], &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", &[], &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, 3);
     }
 }

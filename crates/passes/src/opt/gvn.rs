@@ -10,7 +10,7 @@
 
 use crate::manager::PassConfig;
 use crate::opt::util::def_counts;
-use dt_ir::{BinOp, DomTree, Function, Module, Op, UnOp, Value, VReg};
+use dt_ir::{BinOp, DomTree, Function, Module, Op, UnOp, VReg, Value};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,9 +65,9 @@ fn gvn_function(f: &mut Function) -> bool {
     let mut changed = false;
     // Iterative preorder walk with scope save/restore.
     let mut table: HashMap<Key, VReg> = HashMap::new();
-    let mut stack: Vec<(u32, Vec<(Key, Option<VReg>)>, usize)> =
-        vec![(f.entry.0, Vec::new(), 0)];
-    // (block, undo log, next child index)
+    // (block, undo log of shadowed entries, next child index)
+    type UndoLog = Vec<(Key, Option<VReg>)>;
+    let mut stack: Vec<(u32, UndoLog, usize)> = vec![(f.entry.0, Vec::new(), 0)];
     while let Some((b, undo, child_idx)) = stack.last_mut() {
         let b = *b;
         if *child_idx == 0 {
@@ -167,8 +167,8 @@ mod tests {
     fn check(src: &str, args: &[i64], expected: i64) -> Module {
         let m = pipeline(src);
         let obj = dt_machine::run_backend(&m, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, expected);
         m
     }

@@ -22,9 +22,7 @@
 
 use crate::manager::PassConfig;
 use crate::opt::util::offset_regs;
-use dt_ir::{
-    Block, BlockId, FuncId, Function, Inst, Module, Op, Terminator, Value,
-};
+use dt_ir::{Block, BlockId, FuncId, Function, Inst, Module, Op, Terminator, Value};
 
 /// Tuning knobs distinguishing the inliner instances.
 #[derive(Debug, Clone, Copy)]
@@ -102,11 +100,9 @@ pub fn run_with(module: &mut Module, config: &PassConfig, params: InlineParams) 
 
         let mut round_changed = false;
         for caller_idx in 0..module.funcs.len() {
-            loop {
-                let Some(site) = find_site(module, caller_idx, &sizes, &call_counts, config, &params)
-                else {
-                    break;
-                };
+            while let Some(site) =
+                find_site(module, caller_idx, &sizes, &call_counts, config, &params)
+            {
                 let (block, inst_idx, callee) = site;
                 let first_instance = seen_callees.insert(callee);
                 inline_at(
@@ -205,9 +201,7 @@ fn inline_at(
 
     // Split the call block: the tail (after the call) plus the original
     // terminator move into a continuation block.
-    let tail: Vec<Inst> = caller.blocks[block.index()]
-        .insts
-        .split_off(inst_idx + 1);
+    let tail: Vec<Inst> = caller.blocks[block.index()].insts.split_off(inst_idx + 1);
     caller.blocks[block.index()].insts.pop(); // the call itself
     let cont_term = caller.blocks[block.index()].term.clone();
     let cont_term_line = caller.blocks[block.index()].term_line;
@@ -374,7 +368,8 @@ mod tests {
         // add1 has two call sites: called-once must refuse.
         assert_eq!(calls_in(&m, "f"), 2);
 
-        let single = "int big(int x) { int s = 0; for (int i = 0; i < x; i++) { s += i; } return s; }\n\
+        let single =
+            "int big(int x) { int s = 0; for (int i = 0; i < x; i++) { s += i; } return s; }\n\
                       int f(int a) { return big(a); }";
         let m = inlined(single, InlineParams::called_once());
         assert_eq!(calls_in(&m, "f"), 0);

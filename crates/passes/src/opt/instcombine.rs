@@ -9,7 +9,7 @@
 //! real compilers.
 
 use crate::manager::PassConfig;
-use dt_ir::{BinOp, Function, Module, Op, UnOp, Value, VReg};
+use dt_ir::{BinOp, Function, Module, Op, UnOp, VReg, Value};
 use std::collections::HashMap;
 
 /// Runs combining over every function to a local fixpoint.
@@ -91,7 +91,13 @@ fn combine_function(f: &mut Function) -> bool {
 /// Returns the simplified form of `op`, if any.
 fn simplify(op: &Op) -> Option<Op> {
     // Full constant folding first.
-    if !matches!(op, Op::Copy { src: Value::Const(_), .. }) {
+    if !matches!(
+        op,
+        Op::Copy {
+            src: Value::Const(_),
+            ..
+        }
+    ) {
         if let Some(c) = op.fold_constant() {
             let dst = op.def()?;
             return Some(Op::Copy {
@@ -177,11 +183,15 @@ mod tests {
     fn folds_constant_expressions() {
         let m = optimized("int f() { int x = 2 + 3 * 4; return x; }");
         // Some instruction must now be a plain constant 14.
-        let has_const = m.funcs[0]
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i.op, Op::Copy { src: Value::Const(14), .. }));
+        let has_const = m.funcs[0].blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i.op,
+                Op::Copy {
+                    src: Value::Const(14),
+                    ..
+                }
+            )
+        });
         assert!(has_const);
         behaves_like("int f() { int x = 2 + 3 * 4; return x; }", "f", &[], 14);
     }
@@ -200,7 +210,12 @@ mod tests {
             )
         });
         assert!(const_branch);
-        behaves_like("int f() { int t = 1; if (t) { return 5; } return 6; }", "f", &[], 5);
+        behaves_like(
+            "int f() { int t = 1; if (t) { return 5; } return 6; }",
+            "f",
+            &[],
+            5,
+        );
     }
 
     #[test]
@@ -214,11 +229,16 @@ mod tests {
     #[test]
     fn multiply_becomes_shift() {
         let m = optimized("int f(int x) { return x * 8; }");
-        let has_shift = m.funcs[0]
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i.op, Op::Bin { op: BinOp::Shl, rhs: Value::Const(3), .. }));
+        let has_shift = m.funcs[0].blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i.op,
+                Op::Bin {
+                    op: BinOp::Shl,
+                    rhs: Value::Const(3),
+                    ..
+                }
+            )
+        });
         assert!(has_shift);
         behaves_like("int f(int x) { return x * 8; }", "f", &[5], 40);
     }
@@ -233,19 +253,15 @@ mod tests {
     fn dbg_values_follow_copies() {
         let m = optimized("int f() { int x = 41 + 1; out(x); return x; }");
         // x's dbg.value should now reference the folded constant.
-        let dbg_const = m.funcs[0]
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| {
-                matches!(
-                    i.op,
-                    Op::DbgValue {
-                        loc: dt_ir::DbgLoc::Value(Value::Const(42)),
-                        ..
-                    }
-                )
-            });
+        let dbg_const = m.funcs[0].blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i.op,
+                Op::DbgValue {
+                    loc: dt_ir::DbgLoc::Value(Value::Const(42)),
+                    ..
+                }
+            )
+        });
         assert!(dbg_const, "copy propagation must update debug bindings");
     }
 

@@ -11,7 +11,7 @@
 //! the clones carry **line 0** and their debug pseudos are dropped.
 
 use crate::manager::PassConfig;
-use dt_ir::{BlockId, Function, Inst, Module, Op, Terminator, Value, VReg};
+use dt_ir::{BlockId, Function, Inst, Module, Op, Terminator, VReg, Value};
 
 /// Maximum real instructions in a threadable block.
 const MAX_THREADED_SIZE: usize = 6;
@@ -42,10 +42,7 @@ fn thread_function(f: &mut Function) -> bool {
                 }
             );
             let small = blk.insts.iter().filter(|i| !i.op.is_dbg()).count() <= MAX_THREADED_SIZE;
-            let pure = blk
-                .insts
-                .iter()
-                .all(|i| i.op.is_pure() || i.op.is_dbg());
+            let pure = blk.insts.iter().all(|i| i.op.is_pure() || i.op.is_dbg());
             is_branch && small && pure
         })
         .collect();
@@ -65,11 +62,7 @@ fn thread_function(f: &mut Function) -> bool {
         // correlated-condition case; for the constant case the constant
         // must survive `b` — easiest sound rule: `b` must not redefine
         // the condition register.
-        if f.block(b)
-            .insts
-            .iter()
-            .any(|i| i.op.def() == Some(c))
-        {
+        if f.block(b).insts.iter().any(|i| i.op.def() == Some(c)) {
             continue;
         }
 
@@ -239,8 +232,8 @@ mod tests {
 
     fn check(m: &Module, args: &[i64], expected: i64) {
         let obj = dt_machine::run_backend(m, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, expected);
     }
 
@@ -270,7 +263,9 @@ mod tests {
                    return r;\n}";
         let m = pipeline(src);
         // Hop blocks (appended at the end) contain only line-0 clones.
-        let orig_blocks = dt_frontend::lower_source(src).unwrap().funcs[0].blocks.len();
+        let orig_blocks = dt_frontend::lower_source(src).unwrap().funcs[0]
+            .blocks
+            .len();
         for blk in &m.funcs[0].blocks[orig_blocks..] {
             for i in &blk.insts {
                 assert_eq!(i.line, 0, "duplicated code must have no line");

@@ -83,17 +83,22 @@ fn hoist_from_loop(
         Value::Reg(r) => !loop_defs.contains(&r) || hoisted.contains(&r),
     };
 
+    // Scan blocks in index order: the hoist order determines both the
+    // preheader's instruction order and (through `hoisted`) which
+    // dependent instructions hoist this round, so iterating the
+    // `HashSet` directly would make codegen depend on hasher state.
+    let mut ordered: Vec<dt_ir::BlockId> = blocks.iter().copied().collect();
+    ordered.sort_by_key(|b| b.index());
+
     let mut hoisted: HashSet<dt_ir::VReg> = HashSet::new();
     let mut to_hoist: Vec<dt_ir::Inst> = Vec::new();
-    for &b in blocks {
+    for &b in &ordered {
         let mut i = 0;
         while i < f.block(b).insts.len() {
             let inst = &f.block(b).insts[i];
             let hoistable = match &inst.op {
                 op if op.is_pure() => true,
-                Op::LoadGlobal { global, .. } => {
-                    !has_calls && !writes_globals.contains(&global.0)
-                }
+                Op::LoadGlobal { global, .. } => !has_calls && !writes_globals.contains(&global.0),
                 Op::LoadGIdx { global, .. } => !has_calls && !writes_globals.contains(&global.0),
                 Op::LoadSlot { slot, .. } | Op::LoadIdx { slot, .. } => {
                     !has_calls && !writes_slots.contains(&slot.0)
@@ -158,8 +163,8 @@ mod tests {
 
     fn check(m: &Module, args: &[i64], expected: i64) -> u64 {
         let obj = dt_machine::run_backend(m, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, expected);
         r.cycles
     }
@@ -194,17 +199,23 @@ mod tests {
         let forest = dt_ir::LoopForest::compute(f, &dom);
         let l = &forest.loops[0];
         let mul_in_loop = l.blocks.iter().any(|&b| {
-            f.block(b)
-                .insts
-                .iter()
-                .any(|i| matches!(i.op, Op::Bin { op: dt_ir::BinOp::Mul, .. }))
+            f.block(b).insts.iter().any(|i| {
+                matches!(
+                    i.op,
+                    Op::Bin {
+                        op: dt_ir::BinOp::Mul,
+                        ..
+                    }
+                )
+            })
         });
         assert!(!mul_in_loop, "a*b must be hoisted out");
     }
 
     #[test]
     fn loop_varying_code_stays() {
-        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i * i; } return s; }";
+        let src =
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i * i; } return s; }";
         let m = pipeline(src);
         check(&m, &[5], 30);
         let f = &m.funcs[0];
@@ -212,10 +223,15 @@ mod tests {
         let forest = dt_ir::LoopForest::compute(f, &dom);
         let l = &forest.loops[0];
         let mul_in_loop = l.blocks.iter().any(|&b| {
-            f.block(b)
-                .insts
-                .iter()
-                .any(|i| matches!(i.op, Op::Bin { op: dt_ir::BinOp::Mul, .. }))
+            f.block(b).insts.iter().any(|i| {
+                matches!(
+                    i.op,
+                    Op::Bin {
+                        op: dt_ir::BinOp::Mul,
+                        ..
+                    }
+                )
+            })
         });
         assert!(mul_in_loop, "i*i is loop-varying and must stay");
     }

@@ -123,8 +123,8 @@ mod tests {
             ..Default::default()
         };
         let obj = dt_machine::run_backend(m, &backend);
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, expected);
         r.cycles
     }
@@ -163,7 +163,8 @@ mod tests {
 
     #[test]
     fn zero_trip_loops_still_skip_the_body() {
-        let src = "int f(int n) { int hits = 0; while (n > 100) { hits = 1; n = 0; } return hits; }";
+        let src =
+            "int f(int n) { int hits = 0; while (n > 100) { hits = 1; n = 0; } return hits; }";
         let m = pipeline(src, true);
         cycles(&m, &[5], 0);
         cycles(&m, &[500], 1);
@@ -178,8 +179,9 @@ mod tests {
         let after = pipeline(src, true);
         assert_eq!(before.funcs[0].blocks.len(), after.funcs[0].blocks.len());
         let obj = dt_machine::run_backend(&after, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", &[], &[1, 2, 3], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", &[], &[1, 2, 3], dt_vm::VmConfig::default())
+                .unwrap();
         assert_eq!(r.ret, 3);
     }
 }

@@ -135,8 +135,7 @@ fn unroll_one(f: &mut Function, config: &PassConfig) -> bool {
             for inst in &f.block(b).insts {
                 inst.op.for_each_use(|v| {
                     if let Value::Reg(r) = v {
-                        body_uses_header_temp |=
-                            header_defs.contains(&r) && !escaping.contains(&r);
+                        body_uses_header_temp |= header_defs.contains(&r) && !escaping.contains(&r);
                     }
                 });
             }
@@ -200,7 +199,11 @@ fn bound_of(f: &Function, header: BlockId, c: dt_ir::VReg) -> Option<(dt_ir::VRe
 }
 
 fn trip_count(init: i64, bound: i64, step: i64, inclusive: bool) -> Option<i64> {
-    let bound = if inclusive { bound.checked_add(1)? } else { bound };
+    let bound = if inclusive {
+        bound.checked_add(1)?
+    } else {
+        bound
+    };
     if init >= bound {
         return Some(0);
     }
@@ -275,8 +278,8 @@ mod tests {
 
     fn check(m: &Module, args: &[i64], expected: i64) -> u64 {
         let obj = dt_machine::run_backend(m, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, expected);
         r.cycles
     }
@@ -298,14 +301,17 @@ mod tests {
     fn unrolling_saves_branch_cycles() {
         let with = check(&pipeline(COUNTED, true), &[10], 46);
         let without = check(&pipeline(COUNTED, false), &[10], 46);
-        assert!(with < without, "no more per-iteration branches ({with} vs {without})");
+        assert!(
+            with < without,
+            "no more per-iteration branches ({with} vs {without})"
+        );
     }
 
     #[test]
     fn inclusive_bounds_and_steps() {
         let src = "int f() { int s = 0; for (int i = 0; i <= 6; i += 2) { s += i; } return s; }";
         let m = pipeline(src, true);
-        check(&m, &[], 0 + 2 + 4 + 6);
+        check(&m, &[], 2 + 4 + 6);
     }
 
     #[test]

@@ -13,9 +13,7 @@
 
 use crate::manager::PassConfig;
 use crate::opt::util::{ensure_preheader, find_inductions};
-use dt_ir::{
-    BinOp, DbgLoc, DomTree, Function, Inst, LoopForest, Module, Op, Value,
-};
+use dt_ir::{BinOp, DbgLoc, DomTree, Function, Inst, LoopForest, Module, Op, Value};
 
 /// Runs strength reduction over every function.
 pub fn run(module: &mut Module, config: &PassConfig) -> bool {
@@ -85,7 +83,16 @@ fn lsr_function(f: &mut Function, salvage: bool) -> bool {
         if touched.contains(&rw.mul_at.0) || touched.contains(&rw.ind.incr_at.0) {
             continue;
         }
-        apply(f, &rw.header, &rw.latches, rw.mul_at, &rw.ind, rw.factor, &rw.blocks, salvage);
+        apply(
+            f,
+            &rw.header,
+            &rw.latches,
+            rw.mul_at,
+            &rw.ind,
+            rw.factor,
+            &rw.blocks,
+            salvage,
+        );
         touched.push(rw.mul_at.0);
         touched.push(rw.ind.incr_at.0);
         changed = true;
@@ -180,8 +187,8 @@ mod tests {
 
     fn check(m: &Module, args: &[i64], expected: i64) -> u64 {
         let obj = dt_machine::run_backend(m, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, expected);
         r.cycles
     }
@@ -227,7 +234,15 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i.op, Op::DbgValue { loc: DbgLoc::Undef, .. }))
+            .filter(|i| {
+                matches!(
+                    i.op,
+                    Op::DbgValue {
+                        loc: DbgLoc::Undef,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(undef > 0, "i's in-loop bindings must be dropped");
     }
@@ -241,7 +256,15 @@ mod tests {
                 .blocks
                 .iter()
                 .flat_map(|b| &b.insts)
-                .filter(|i| matches!(i.op, Op::DbgValue { loc: DbgLoc::Undef, .. }))
+                .filter(|i| {
+                    matches!(
+                        i.op,
+                        Op::DbgValue {
+                            loc: DbgLoc::Undef,
+                            ..
+                        }
+                    )
+                })
                 .count()
         };
         assert!(undefs(&clang) < undefs(&gcc));

@@ -12,7 +12,7 @@
 //! pipeline degrades.
 
 use crate::manager::PassConfig;
-use dt_ir::{DbgLoc, Function, Inst, Module, Op, SlotId, Value, VReg};
+use dt_ir::{DbgLoc, Function, Inst, Module, Op, SlotId, VReg, Value};
 
 /// Runs promotion over every function.
 pub fn run(module: &mut Module, _config: &PassConfig) -> bool {
@@ -176,8 +176,8 @@ mod tests {
         let mut m = dt_frontend::lower_source(src).unwrap();
         run(&mut m, &PassConfig::default());
         let obj = dt_machine::run_backend(&m, &dt_machine::BackendConfig::default());
-        let r =
-            dt_vm::Vm::run_to_completion(&obj, "f", &[10], &[], dt_vm::VmConfig::default()).unwrap();
+        let r = dt_vm::Vm::run_to_completion(&obj, "f", &[10], &[], dt_vm::VmConfig::default())
+            .unwrap();
         assert_eq!(r.ret, 55);
     }
 

@@ -16,9 +16,9 @@ pub mod ipa_pure_const;
 pub mod jump_threading;
 pub mod licm;
 pub mod loop_rotate;
-pub mod mem2reg;
 pub mod loop_unroll;
 pub mod lsr;
+pub mod mem2reg;
 pub mod simplifycfg;
 pub mod sink;
 pub mod slp;

@@ -99,9 +99,7 @@ fn thread_empty_blocks(f: &mut Function, salvage: bool) -> bool {
         .enumerate()
         .map(|(i, blk)| match blk.term {
             Terminator::Jump(t)
-                if !blk.dead
-                    && t.index() != i
-                    && blk.insts.iter().all(|x| x.op.is_dbg()) =>
+                if !blk.dead && t.index() != i && blk.insts.iter().all(|x| x.op.is_dbg()) =>
             {
                 Some(t)
             }
@@ -365,7 +363,10 @@ mod tests {
 
     #[test]
     fn constant_branch_folds_and_dead_arm_dies() {
-        let m = pipeline("int f() { int t = 1; if (t) { return 5; } return 6; }", false);
+        let m = pipeline(
+            "int f() { int t = 1; if (t) { return 5; } return 6; }",
+            false,
+        );
         check(&m, "f", &[], 5);
         // The false arm must be unreachable and removed.
         assert!(live_blocks(&m, 0) <= 2);

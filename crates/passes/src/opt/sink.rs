@@ -76,19 +76,32 @@ fn sink_function(f: &mut Function) -> bool {
                 continue;
             }
             let Some(d) = inst.op.def() else { continue };
-            // Not used later in this block (or by the terminator).
-            let mut used_later = false;
+            // Operands as evaluated at position `i`.
+            let mut operands: Vec<Value> = Vec::new();
+            inst.op.for_each_use(|v| operands.push(v));
+            // Not used later in this block (or by the terminator), not
+            // redefined later (the successor's use would then refer to
+            // the *later* def, which sinking would clobber), and no
+            // operand redefined later (the sunk computation would read
+            // the new value).
+            let mut blocked = false;
             for later in &f.block(b).insts[i + 1..] {
                 if later.op.is_dbg() {
                     continue;
                 }
-                later.op.for_each_use(|v| used_later |= v == Value::Reg(d));
-                if later.op.def() == Some(d) {
+                later.op.for_each_use(|v| blocked |= v == Value::Reg(d));
+                if let Some(ld) = later.op.def() {
+                    blocked |= ld == d;
+                    blocked |= operands.contains(&Value::Reg(ld));
+                }
+                if blocked {
                     break;
                 }
             }
-            f.block(b).term.for_each_use(|v| used_later |= v == Value::Reg(d));
-            if used_later {
+            f.block(b)
+                .term
+                .for_each_use(|v| blocked |= v == Value::Reg(d));
+            if blocked {
                 continue;
             }
             let ub = &use_blocks[d.index()];
@@ -158,8 +171,8 @@ mod tests {
 
     fn check(m: &Module, args: &[i64], expected: i64) -> u64 {
         let obj = dt_machine::run_backend(m, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, expected);
         // Instruction count: immune to one-off mispredict noise.
         r.steps
@@ -178,7 +191,10 @@ mod tests {
         // The cold path must now skip the multiplies.
         let cold = check(&pipeline(SINKABLE), &[3, 0], 0);
         let hot = check(&pipeline(SINKABLE), &[3, 1], 27);
-        assert!(cold < hot, "cold path avoids the sunk work ({cold} vs {hot} steps)");
+        assert!(
+            cold < hot,
+            "cold path avoids the sunk work ({cold} vs {hot} steps)"
+        );
     }
 
     #[test]
@@ -188,7 +204,15 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i.op, Op::DbgValue { loc: DbgLoc::Undef, .. }))
+            .filter(|i| {
+                matches!(
+                    i.op,
+                    Op::DbgValue {
+                        loc: DbgLoc::Undef,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(undefs >= 1, "sinking leaves a dbg.value undef behind");
     }
@@ -202,6 +226,29 @@ mod tests {
         let m = pipeline(src);
         check(&m, &[4, 1], 9);
         check(&m, &[4, 0], 8);
+    }
+
+    /// Regression for the seed-126 miscompilation: a dead first
+    /// definition of a register must not sink past a live
+    /// redefinition. Keep dce out of the pipeline so the dead first
+    /// def of `t` survives to sinking's input, the way it does
+    /// mid-pipeline once copy coalescing merges both defs into one
+    /// register.
+    #[test]
+    fn dead_def_does_not_sink_past_redefinition() {
+        let src = "int f(int a, int c) {\n\
+            int t = a * 7;\n\
+            t = a + 1;\n\
+            if (c) { out(t); return t; }\n\
+            return 0;\n}";
+        let mut m = dt_frontend::lower_source(src).unwrap();
+        let cfg = PassConfig::default();
+        crate::opt::mem2reg::run(&mut m, &cfg);
+        crate::opt::copycoalesce::run_coalesce(&mut m, &cfg);
+        run(&mut m, &cfg);
+        dt_ir::verify_module(&m).unwrap();
+        check(&m, &[4, 1], 5);
+        check(&m, &[4, 0], 0);
     }
 
     #[test]

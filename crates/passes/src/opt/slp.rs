@@ -37,7 +37,9 @@ pub fn run(module: &mut Module, _config: &PassConfig) -> bool {
                     let b = &insts[j];
                     match (&a.op, &b.op) {
                         (
-                            Op::Bin { op: op_a, dst: da, .. },
+                            Op::Bin {
+                                op: op_a, dst: da, ..
+                            },
                             Op::Bin {
                                 op: op_b,
                                 dst: db,
@@ -46,16 +48,11 @@ pub fn run(module: &mut Module, _config: &PassConfig) -> bool {
                                 ..
                             },
                         ) if op_a == op_b
-                            && !matches!(
-                                op_a,
-                                dt_ir::BinOp::Div | dt_ir::BinOp::Rem
-                            )
+                            && !matches!(op_a, dt_ir::BinOp::Div | dt_ir::BinOp::Rem)
                             && da != db =>
                         {
                             // b must not consume a's result.
-                            let uses_a = [lhs, rhs]
-                                .iter()
-                                .any(|v| v.as_reg() == Some(*da));
+                            let uses_a = [lhs, rhs].iter().any(|v| v.as_reg() == Some(*da));
                             !uses_a && !a.fused && !b.fused
                         }
                         _ => false,
@@ -97,8 +94,8 @@ mod tests {
 
     fn cycles(m: &Module, args: &[i64], expected: i64) -> u64 {
         let obj = dt_machine::run_backend(m, &dt_machine::BackendConfig::default());
-        let r = dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default())
-            .unwrap();
+        let r =
+            dt_vm::Vm::run_to_completion(&obj, "f", args, &[], dt_vm::VmConfig::default()).unwrap();
         assert_eq!(r.ret, expected);
         r.cycles
     }

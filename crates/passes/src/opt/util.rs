@@ -1,7 +1,7 @@
 //! Shared helpers for the middle-end passes, most importantly the
 //! debug-value maintenance machinery.
 
-use dt_ir::{DbgLoc, Function, Inst, Op, Value, VReg};
+use dt_ir::{DbgLoc, Function, Inst, Op, VReg, Value};
 
 /// What a pass should do with `dbg.value`s that referenced a value it
 /// just deleted or rewrote.
@@ -151,7 +151,11 @@ pub fn offset_regs(op: &mut Op, vreg_base: u32) {
 /// Ensures loop `l` (by header id) has a dedicated preheader: a block
 /// that is the unique non-latch predecessor of the header and ends in
 /// an unconditional jump to it. Returns the preheader's id.
-pub fn ensure_preheader(f: &mut Function, header: dt_ir::BlockId, latches: &[dt_ir::BlockId]) -> dt_ir::BlockId {
+pub fn ensure_preheader(
+    f: &mut Function,
+    header: dt_ir::BlockId,
+    latches: &[dt_ir::BlockId],
+) -> dt_ir::BlockId {
     let preds = dt_ir::predecessors(f);
     let outside: Vec<dt_ir::BlockId> = preds[header.index()]
         .iter()
@@ -191,7 +195,10 @@ pub struct Induction {
 /// Recognizes the canonical induction pattern for the registers of a
 /// loop: exactly one in-loop definition, of the form
 /// `i = i + <const>`.
-pub fn find_inductions(f: &Function, loop_blocks: &std::collections::HashSet<dt_ir::BlockId>) -> Vec<Induction> {
+pub fn find_inductions(
+    f: &Function,
+    loop_blocks: &std::collections::HashSet<dt_ir::BlockId>,
+) -> Vec<Induction> {
     use dt_ir::BinOp;
     let mut candidates: Vec<Induction> = Vec::new();
     let mut in_loop_defs: HashMap<VReg, u32> = HashMap::new();

@@ -221,7 +221,11 @@ fn build_gcc(level: OptLevel) -> Pipeline {
     match level {
         OptLevel::Og => {
             mid.push(p::mem2reg_infra());
-            mid.push(p::inline("inline-fncs-called-once", &["inline"], InlineParams::called_once()));
+            mid.push(p::inline(
+                "inline-fncs-called-once",
+                &["inline"],
+                InlineParams::called_once(),
+            ));
             mid.push(p::forwprop("tree-forwprop"));
             mid.push(p::fre("tree-fre"));
             mid.push(p::coalesce());
@@ -238,8 +242,16 @@ fn build_gcc(level: OptLevel) -> Pipeline {
         }
         OptLevel::O1 => {
             mid.push(p::mem2reg_infra());
-            mid.push(p::inline("inline-fncs-called-once", &["inline"], InlineParams::called_once()));
-            mid.push(p::inline("inline-small-functions", &["inline"], InlineParams::small()));
+            mid.push(p::inline(
+                "inline-fncs-called-once",
+                &["inline"],
+                InlineParams::called_once(),
+            ));
+            mid.push(p::inline(
+                "inline-small-functions",
+                &["inline"],
+                InlineParams::small(),
+            ));
             mid.push(p::forwprop("tree-forwprop"));
             mid.push(p::fre("tree-fre"));
             mid.push(p::ter());
@@ -264,10 +276,22 @@ fn build_gcc(level: OptLevel) -> Pipeline {
         OptLevel::O2 | OptLevel::O3 => {
             let o3 = level == OptLevel::O3;
             mid.push(p::mem2reg_infra());
-            mid.push(p::inline("inline-fncs-called-once", &["inline"], InlineParams::called_once()));
-            mid.push(p::inline("inline-small-functions", &["inline"], InlineParams::medium()));
+            mid.push(p::inline(
+                "inline-fncs-called-once",
+                &["inline"],
+                InlineParams::called_once(),
+            ));
+            mid.push(p::inline(
+                "inline-small-functions",
+                &["inline"],
+                InlineParams::medium(),
+            ));
             if o3 {
-                mid.push(p::inline("inline-functions", &["inline"], InlineParams::aggressive()));
+                mid.push(p::inline(
+                    "inline-functions",
+                    &["inline"],
+                    InlineParams::aggressive(),
+                ));
             } else {
                 mid.push(p::inline(
                     "inline-functions",
@@ -358,10 +382,14 @@ fn build_clang(level: OptLevel) -> Pipeline {
         mid.push(p::slp("SLPVectorizer"));
     }
     if o3 {
-        mid.push(p::inline("Inliner", &[], InlineParams {
-            threshold: 90,
-            ..InlineParams::aggressive()
-        }));
+        mid.push(p::inline(
+            "Inliner",
+            &[],
+            InlineParams {
+                threshold: 90,
+                ..InlineParams::aggressive()
+            },
+        ));
         mid.push(p::forwprop("InstCombine"));
         mid.push(p::gvn("GVN"));
         mid.push(p::unroll("LoopUnroll"));
@@ -443,8 +471,8 @@ int f(int n) {
     fn every_level_is_semantically_correct() {
         for personality in [Personality::Gcc, Personality::Clang] {
             for &level in OptLevel::levels_for(personality) {
-                let obj = compile_source(PROGRAM, &CompileOptions::new(personality, level))
-                    .unwrap();
+                let obj =
+                    compile_source(PROGRAM, &CompileOptions::new(personality, level)).unwrap();
                 let (ret, _) = run_obj(&obj, "f", &[25], &[]);
                 assert_eq!(ret, reference(25), "{personality} {level}");
             }
@@ -454,8 +482,8 @@ int f(int n) {
     #[test]
     fn higher_levels_are_not_slower() {
         for personality in [Personality::Gcc, Personality::Clang] {
-            let o0 = compile_source(PROGRAM, &CompileOptions::new(personality, OptLevel::O0))
-                .unwrap();
+            let o0 =
+                compile_source(PROGRAM, &CompileOptions::new(personality, OptLevel::O0)).unwrap();
             let (_, base) = run_obj(&o0, "f", &[200], &[]);
             let mut prev = base;
             for &level in OptLevel::levels_for(personality) {
@@ -505,8 +533,11 @@ int f(int n) {
             .any(|i| matches!(i.op, dt_machine::FOp::CallF { .. }));
         assert!(has_call, "master inline switch must stop all inlining");
 
-        let plain = compile_source(PROGRAM, &CompileOptions::new(Personality::Gcc, OptLevel::O3))
-            .unwrap();
+        let plain = compile_source(
+            PROGRAM,
+            &CompileOptions::new(Personality::Gcc, OptLevel::O3),
+        )
+        .unwrap();
         let f2 = plain.func_by_name("f").unwrap().1;
         let has_call2 = plain.code[f2.start_index as usize..f2.end_index as usize]
             .iter()

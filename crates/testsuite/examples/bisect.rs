@@ -1,7 +1,19 @@
-use dt_passes::{compile_source, pipeline_pass_names, CompileOptions, OptLevel, PassGate, Personality};
+use dt_passes::{
+    compile_source, pipeline_pass_names, CompileOptions, OptLevel, PassGate, Personality,
+};
 
 fn run(obj: &dt_machine::Object, entry: &str, input: &[u8]) -> (i64, Vec<i64>) {
-    let r = dt_vm::Vm::run_to_completion(obj, entry, &[], input, dt_vm::VmConfig { max_steps: 10_000_000, ..Default::default() }).unwrap();
+    let r = dt_vm::Vm::run_to_completion(
+        obj,
+        entry,
+        &[],
+        input,
+        dt_vm::VmConfig {
+            max_steps: 10_000_000,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     (r.ret, r.output)
 }
 
@@ -19,6 +31,10 @@ fn main() {
         opts.gate = PassGate::disabling([name]);
         let obj = compile_source(&src, &opts).unwrap();
         let got = run(&obj, entry, input);
-        println!("{} -{name}: {:?}", if got == expect { "OK " } else { "BAD" }, got);
+        println!(
+            "{} -{name}: {:?}",
+            if got == expect { "OK " } else { "BAD" },
+            got
+        );
     }
 }

@@ -54,24 +54,105 @@ macro_rules! program {
 /// The 13-program real-world suite (Section IV, Table III).
 pub fn real_world_suite() -> Vec<TestProgram> {
     vec![
-        program!("bzip2", "bzip2.mc", ["fuzz_compress"], [b"aaaabbbcccddddd", b"\x01\x02\x03"]),
+        program!(
+            "bzip2",
+            "bzip2.mc",
+            ["fuzz_compress"],
+            [b"aaaabbbcccddddd", b"\x01\x02\x03"]
+        ),
         program!(
             "libdwarf",
             "libdwarf.mc",
             ["fuzz_parse"],
             [b"\x01\x04abcd\x02\x02xy\x03\x01z\x00", b"\x01\x00\x00"]
         ),
-        program!("libexif", "libexif.mc", ["fuzz_exif"], [b"EX\x03\x01\x01\x10\x02\x02\x20\x00\x03\x03\x30\x00\x00", b"EX\x00"]),
-        program!("liblouis", "liblouis.mc", ["fuzz_translate"], [b"hello world", b"the cat and the hat"]),
-        program!("libmpeg2", "libmpeg2.mc", ["fuzz_decode"], [b"\x00\x00\x01\xb3\x10\x20\x30\x40\x00\x00\x01\x00abcdefgh", b"\x00\x00\x01\x00"]),
-        program!("libpcap", "libpcap.mc", ["fuzz_packet"], [b"\x45\x00\x06\x11\x0a\x00\x00\x01\x0a\x00\x00\x02\x00\x50\x1f\x90payload", b"\x45\x00\x06\x06\x01\x02\x03\x04\x05\x06\x07\x08\x00\x16\x00\x50"]),
-        program!("libpng", "libpng.mc", ["fuzz_png"], [b"PN\x08\x02\x01\x04IDAT\x00\x01\x02\x03\x04\x05\x06\x07\x08end", b"PN\x04\x01\x01\x04IDAT\x01\x09\x08\x07\x06end"]),
-        program!("libssh", "libssh.mc", ["fuzz_handshake"], [b"\x05SSH2k\x10\x20\x30\x40\x01\x07datadata", b"\x05SSH2"]),
-        program!("libyaml", "libyaml.mc", ["fuzz_yaml"], [b"key: 1\n  sub: 2\nnext: 3\n", b"a: 9\n"]),
-        program!("lighttpd", "lighttpd.mc", ["fuzz_request"], [b"GET /index HTTP\nHost: x\nauth: 7\n\n", b"POST /api HTTP\nlen: 3\n\nabc"]),
-        program!("wasm3", "wasm3.mc", ["fuzz_exec"], [b"\x01\x05\x01\x03\x02\x01\x02\x03\x0b", b"\x01\x09\x01\x02\x04\x06\x08\x0b"]),
-        program!("zlib", "zlib.mc", ["fuzz_inflate"], [b"aaabcdbcdbcdeeeee", b"the quick brown fox"]),
-        program!("zydis", "zydis.mc", ["fuzz_disasm"], [b"\x01\xc0\x05\x10\x20\x30\x40\x90\xc3", b"\x40\x01\xd8\xeb\x05\xc3"]),
+        program!(
+            "libexif",
+            "libexif.mc",
+            ["fuzz_exif"],
+            [
+                b"EX\x03\x01\x01\x10\x02\x02\x20\x00\x03\x03\x30\x00\x00",
+                b"EX\x00"
+            ]
+        ),
+        program!(
+            "liblouis",
+            "liblouis.mc",
+            ["fuzz_translate"],
+            [b"hello world", b"the cat and the hat"]
+        ),
+        program!(
+            "libmpeg2",
+            "libmpeg2.mc",
+            ["fuzz_decode"],
+            [
+                b"\x00\x00\x01\xb3\x10\x20\x30\x40\x00\x00\x01\x00abcdefgh",
+                b"\x00\x00\x01\x00"
+            ]
+        ),
+        program!(
+            "libpcap",
+            "libpcap.mc",
+            ["fuzz_packet"],
+            [
+                b"\x45\x00\x06\x11\x0a\x00\x00\x01\x0a\x00\x00\x02\x00\x50\x1f\x90payload",
+                b"\x45\x00\x06\x06\x01\x02\x03\x04\x05\x06\x07\x08\x00\x16\x00\x50"
+            ]
+        ),
+        program!(
+            "libpng",
+            "libpng.mc",
+            ["fuzz_png"],
+            [
+                b"PN\x08\x02\x01\x04IDAT\x00\x01\x02\x03\x04\x05\x06\x07\x08end",
+                b"PN\x04\x01\x01\x04IDAT\x01\x09\x08\x07\x06end"
+            ]
+        ),
+        program!(
+            "libssh",
+            "libssh.mc",
+            ["fuzz_handshake"],
+            [b"\x05SSH2k\x10\x20\x30\x40\x01\x07datadata", b"\x05SSH2"]
+        ),
+        program!(
+            "libyaml",
+            "libyaml.mc",
+            ["fuzz_yaml"],
+            [b"key: 1\n  sub: 2\nnext: 3\n", b"a: 9\n"]
+        ),
+        program!(
+            "lighttpd",
+            "lighttpd.mc",
+            ["fuzz_request"],
+            [
+                b"GET /index HTTP\nHost: x\nauth: 7\n\n",
+                b"POST /api HTTP\nlen: 3\n\nabc"
+            ]
+        ),
+        program!(
+            "wasm3",
+            "wasm3.mc",
+            ["fuzz_exec"],
+            [
+                b"\x01\x05\x01\x03\x02\x01\x02\x03\x0b",
+                b"\x01\x09\x01\x02\x04\x06\x08\x0b"
+            ]
+        ),
+        program!(
+            "zlib",
+            "zlib.mc",
+            ["fuzz_inflate"],
+            [b"aaabcdbcdbcdeeeee", b"the quick brown fox"]
+        ),
+        program!(
+            "zydis",
+            "zydis.mc",
+            ["fuzz_disasm"],
+            [
+                b"\x01\xc0\x05\x10\x20\x30\x40\x90\xc3",
+                b"\x40\x01\xd8\xeb\x05\xc3"
+            ]
+        ),
     ]
 }
 
@@ -127,8 +208,8 @@ mod tests {
     #[test]
     fn suite_programs_run_on_their_seeds() {
         for p in real_world_suite() {
-            let module = dt_frontend::lower_source(p.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let module =
+                dt_frontend::lower_source(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
             let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
             for h in p.harnesses {
                 for seed in p.seeds {
@@ -158,18 +239,23 @@ mod tests {
     fn suite_programs_are_deterministic_across_levels() {
         use dt_passes::{compile_source, CompileOptions, OptLevel, Personality};
         for p in real_world_suite() {
-            let o0 = compile_source(p.source, &CompileOptions::new(Personality::Gcc, OptLevel::O0))
-                .unwrap();
-            let o3 = compile_source(p.source, &CompileOptions::new(Personality::Gcc, OptLevel::O3))
-                .unwrap();
+            let o0 = compile_source(
+                p.source,
+                &CompileOptions::new(Personality::Gcc, OptLevel::O0),
+            )
+            .unwrap();
+            let o3 = compile_source(
+                p.source,
+                &CompileOptions::new(Personality::Gcc, OptLevel::O3),
+            )
+            .unwrap();
             for h in p.harnesses {
                 for seed in p.seeds {
                     let cfg = dt_vm::VmConfig {
                         max_steps: 3_000_000,
                         ..Default::default()
                     };
-                    let r0 =
-                        dt_vm::Vm::run_to_completion(&o0, h, &[], seed, cfg.clone()).unwrap();
+                    let r0 = dt_vm::Vm::run_to_completion(&o0, h, &[], seed, cfg.clone()).unwrap();
                     let r3 = dt_vm::Vm::run_to_completion(&o3, h, &[], seed, cfg).unwrap();
                     assert_eq!(r0.ret, r3.ret, "{}::{h} O0 vs O3 return", p.name);
                     assert_eq!(r0.output, r3.output, "{}::{h} O0 vs O3 output", p.name);

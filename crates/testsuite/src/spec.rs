@@ -74,8 +74,8 @@ mod tests {
     #[test]
     fn all_benchmarks_parse() {
         for b in spec_suite() {
-            let prog = dt_minic::compile_check(b.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let prog =
+                dt_minic::compile_check(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(prog.function(b.entry).is_some(), "{} entry", b.name);
         }
         assert_eq!(spec_suite().len(), 8);
@@ -104,12 +104,16 @@ mod tests {
     fn optimization_preserves_benchmark_outputs() {
         use dt_passes::{compile_source, CompileOptions, OptLevel, Personality};
         for b in spec_suite() {
-            let o0 =
-                compile_source(b.source, &CompileOptions::new(Personality::Gcc, OptLevel::O0))
-                    .unwrap();
-            let o2 =
-                compile_source(b.source, &CompileOptions::new(Personality::Clang, OptLevel::O2))
-                    .unwrap();
+            let o0 = compile_source(
+                b.source,
+                &CompileOptions::new(Personality::Gcc, OptLevel::O0),
+            )
+            .unwrap();
+            let o2 = compile_source(
+                b.source,
+                &CompileOptions::new(Personality::Clang, OptLevel::O2),
+            )
+            .unwrap();
             let cfg = dt_vm::VmConfig {
                 max_steps: 80_000_000,
                 ..Default::default()

@@ -74,7 +74,9 @@ fn gen_function(
     rng: &mut SmallRng,
     config: &SynthConfig,
 ) {
-    let nvars = rng.gen_range(config.vars_per_function / 2..=config.vars_per_function).max(2);
+    let nvars = rng
+        .gen_range(config.vars_per_function / 2..=config.vars_per_function)
+        .max(2);
     let _ = writeln!(out, "int f{idx}(int p0, int p1) {{");
     let mut ctx = Ctx {
         nvars,
@@ -140,8 +142,7 @@ impl Ctx<'_> {
         }
         let a = self.expr(depth + 1);
         let b = self.expr(depth + 1);
-        let op = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"]
-            [self.rng.gen_range(0..10)];
+        let op = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"][self.rng.gen_range(0..10)];
         // Keep shifts small so results stay interesting.
         if op == "<<" || op == ">>" {
             let sh = self.rng.gen_range(0..8);
@@ -241,8 +242,7 @@ mod tests {
         let cfg = SynthConfig::default();
         for seed in 0..40 {
             let src = generate(seed, &cfg);
-            dt_minic::compile_check(&src)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            dt_minic::compile_check(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
         }
     }
 
@@ -270,8 +270,7 @@ mod tests {
             let input = [seed as u8, 3];
             let r0 = dt_vm::Vm::run_to_completion(&o0, "fuzz_main", &[], &input, vm_cfg.clone())
                 .unwrap();
-            let r3 =
-                dt_vm::Vm::run_to_completion(&o3, "fuzz_main", &[], &input, vm_cfg).unwrap();
+            let r3 = dt_vm::Vm::run_to_completion(&o3, "fuzz_main", &[], &input, vm_cfg).unwrap();
             assert_eq!(r0.halt, dt_vm::Halt::Finished, "seed {seed}");
             assert_eq!(r0.ret, r3.ret, "seed {seed} miscompiled:\n{src}");
             assert_eq!(r0.output, r3.output, "seed {seed}");

@@ -16,7 +16,7 @@ impl CoverageMap {
     /// A map able to hold `nbits` coverage points.
     pub fn new(nbits: usize) -> Self {
         CoverageMap {
-            bits: vec![0; (nbits + 63) / 64],
+            bits: vec![0; nbits.div_ceil(64)],
             nbits,
         }
     }
@@ -52,10 +52,7 @@ impl CoverageMap {
 
     /// Whether `other` covers any point `self` does not.
     pub fn adds_to(&self, base: &CoverageMap) -> bool {
-        self.bits
-            .iter()
-            .zip(&base.bits)
-            .any(|(s, b)| s & !b != 0)
+        self.bits.iter().zip(&base.bits).any(|(s, b)| s & !b != 0)
     }
 
     /// Iterates over covered point indices.

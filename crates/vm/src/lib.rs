@@ -119,7 +119,13 @@ pub struct Vm<'a> {
 impl<'a> Vm<'a> {
     /// Creates a VM poised at the entry of function `entry` with the
     /// given call arguments.
-    pub fn new(obj: &'a Object, entry: &str, args: &[i64], input: &'a [u8], config: VmConfig) -> Result<Self, String> {
+    pub fn new(
+        obj: &'a Object,
+        entry: &str,
+        args: &[i64],
+        input: &'a [u8],
+        config: VmConfig,
+    ) -> Result<Self, String> {
         let (fid, info) = obj
             .func_by_name(entry)
             .ok_or_else(|| format!("entry function `{entry}` not found"))?;
@@ -226,7 +232,11 @@ impl<'a> Vm<'a> {
     pub fn into_result(self) -> ExecResult {
         let halt = self.halted.unwrap_or(Halt::StepLimit);
         ExecResult {
-            ret: if halt == Halt::Finished { self.regs[0] } else { 0 },
+            ret: if halt == Halt::Finished {
+                self.regs[0]
+            } else {
+                0
+            },
             cycles: self.cycles,
             steps: self.steps,
             output: self.output,
@@ -312,8 +322,7 @@ impl<'a> Vm<'a> {
             FOp::Bin { op, rd, ra, rb } => {
                 self.stall_if_uses(&[*ra, *rb]);
                 self.charge(binop_cost(*op));
-                self.regs[*rd as usize] =
-                    op.eval(self.regs[*ra as usize], self.regs[*rb as usize]);
+                self.regs[*rd as usize] = op.eval(self.regs[*ra as usize], self.regs[*rb as usize]);
             }
             FOp::BinImm { op, rd, ra, imm } => {
                 self.stall_if_uses(&[*ra]);
@@ -416,8 +425,7 @@ impl<'a> Vm<'a> {
                     cov.set(self.obj.code.len() * 2 + *func as usize);
                 }
                 let frame_base = self.stack.len();
-                self.stack
-                    .resize(frame_base + info.frame_size as usize, 0);
+                self.stack.resize(frame_base + info.frame_size as usize, 0);
                 self.frames.push(Frame {
                     ret_pc: next_pc,
                     frame_base,
@@ -529,7 +537,12 @@ mod tests {
 
     #[test]
     fn arithmetic_and_return() {
-        let r = run("int f(int a, int b) { return a * 10 + b; }", "f", &[4, 2], &[]);
+        let r = run(
+            "int f(int a, int b) { return a * 10 + b; }",
+            "f",
+            &[4, 2],
+            &[],
+        );
         assert_eq!(r.ret, 42);
         assert_eq!(r.halt, Halt::Finished);
         assert!(r.cycles > 0);
@@ -578,7 +591,12 @@ mod tests {
             &[],
         );
         assert_eq!(r.ret, 99, "index 5 wraps to 1 in a 4-element array");
-        let r = run("int f() { int a[4]; a[-1] = 7; return a[3]; }", "f", &[], &[]);
+        let r = run(
+            "int f() { int a[4]; a[-1] = 7; return a[3]; }",
+            "f",
+            &[],
+            &[],
+        );
         assert_eq!(r.ret, 7, "negative indices wrap from the end");
     }
 
@@ -677,7 +695,8 @@ mod tests {
 
     #[test]
     fn sampling_collects_pcs() {
-        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i * i; } return s; }";
+        let src =
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i * i; } return s; }";
         let module = dt_frontend::lower_source(src).unwrap();
         let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
         let config = VmConfig {
@@ -695,7 +714,8 @@ mod tests {
 
     #[test]
     fn cycle_counts_are_deterministic() {
-        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += in(i % 7); } return s; }";
+        let src =
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += in(i % 7); } return s; }";
         let module = dt_frontend::lower_source(src).unwrap();
         let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
         let a = Vm::run_to_completion(&obj, "f", &[50], &[1, 2, 3], VmConfig::default()).unwrap();

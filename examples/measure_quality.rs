@@ -7,7 +7,7 @@
 //! cargo run --release --example measure_quality
 //! ```
 
-use debugtuner::ProgramInput;
+use debugtuner::{DebugTuner, ProgramInput};
 use dt_passes::{OptLevel, Personality};
 
 fn main() {
@@ -15,6 +15,7 @@ fn main() {
     println!("fuzzing inputs for {}...", suite.name);
     let program = ProgramInput::from_suite(&suite, 1000);
     println!("minimized input set: {} inputs", program.inputs.len());
+    let tuner = DebugTuner::default();
 
     println!(
         "\n{:<9} {:<5} | {:>22} | {:>22} | {:>8}",
@@ -22,7 +23,7 @@ fn main() {
     );
     for personality in [Personality::Gcc, Personality::Clang] {
         for &level in OptLevel::levels_for(personality) {
-            let eval = debugtuner::evaluate_program(&program, personality, level, 3_000_000);
+            let eval = tuner.evaluate(&program, personality, level);
             let m = &eval.methods;
             println!(
                 "{:<9} {:<5} | st {:.3} sd {:.3} dy {:.3} hy {:.3} | st {:.3} sd {:.3} dy {:.3} | hy {:.4}",
@@ -45,4 +46,5 @@ fn main() {
          build for O0's whole-function variable ranges (underestimate); \
          `hy` (hybrid) corrects both — it should sit between them."
     );
+    println!("\n{}", tuner.stats().summary());
 }

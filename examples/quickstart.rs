@@ -72,10 +72,7 @@ fn main() {
     // 4. Show which variables the debugger lost on a specific line.
     for line in base.stepped_lines() {
         let base_vars = base.vars_at(line).cloned().unwrap_or_default();
-        let opt_vars = opt
-            .vars_at(line)
-            .cloned()
-            .unwrap_or_default();
+        let opt_vars = opt.vars_at(line).cloned().unwrap_or_default();
         let lost: Vec<&String> = base_vars.difference(&opt_vars).collect();
         if !lost.is_empty() {
             println!("  line {line}: lost {lost:?}");

@@ -1,0 +1,99 @@
+//! Differential stress sweep with non-default generator shapes: more
+//! functions, deeper expressions, and longer bodies than the default
+//! `SynthConfig`, to reach pass interactions the default sweep misses.
+//!
+//! Usage: `cargo run --release --example seed_stress [max_seed]`
+
+use dt_passes::{compile_source, CompileOptions, OptLevel, Personality};
+use dt_testsuite::synth::SynthConfig;
+
+fn run(obj: &dt_machine::Object, input: &[u8]) -> Result<(i64, Vec<i64>), String> {
+    let r = dt_vm::Vm::run_to_completion(
+        obj,
+        "fuzz_main",
+        &[],
+        input,
+        dt_vm::VmConfig {
+            max_steps: 20_000_000,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("{e:?}"))?;
+    Ok((r.ret, r.output))
+}
+
+fn main() {
+    let max_seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let shapes = [
+        SynthConfig {
+            functions: 6,
+            vars_per_function: 14,
+            stmts_per_function: 24,
+            max_expr_depth: 6,
+        },
+        SynthConfig {
+            functions: 2,
+            vars_per_function: 4,
+            stmts_per_function: 40,
+            max_expr_depth: 2,
+        },
+        SynthConfig {
+            functions: 8,
+            vars_per_function: 10,
+            stmts_per_function: 8,
+            max_expr_depth: 8,
+        },
+    ];
+    let bytes: &[u8] = &[0, 3, 55, 90, 177, 255];
+    let mut failures = 0usize;
+    for (si, shape) in shapes.iter().enumerate() {
+        for seed in 0..max_seed {
+            let src = dt_testsuite::synth::generate(seed, shape);
+            let o0 =
+                match compile_source(&src, &CompileOptions::new(Personality::Gcc, OptLevel::O0)) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        failures += 1;
+                        println!("shape {si} seed {seed}: O0 COMPILE FAILED: {e:?}");
+                        continue;
+                    }
+                };
+            for (personality, level) in [
+                (Personality::Gcc, OptLevel::Og),
+                (Personality::Gcc, OptLevel::O2),
+                (Personality::Gcc, OptLevel::O3),
+                (Personality::Clang, OptLevel::O2),
+                (Personality::Clang, OptLevel::O3),
+            ] {
+                let obj = match compile_source(&src, &CompileOptions::new(personality, level)) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        failures += 1;
+                        println!("shape {si} seed {seed} {personality:?} {level:?}: COMPILE FAILED: {e:?}");
+                        continue;
+                    }
+                };
+                for &b in bytes {
+                    let input = [b, b ^ 0x5a];
+                    let expected = run(&o0, &input);
+                    let got = run(&obj, &input);
+                    if got != expected {
+                        failures += 1;
+                        println!(
+                            "shape {si} seed {seed} {personality:?} {level:?} byte {b}: got {got:?} expected {expected:?}"
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        eprintln!("shape {si} swept, {failures} failures so far");
+    }
+    println!("stress sweep complete: {failures} disagreements");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

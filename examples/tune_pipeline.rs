@@ -27,7 +27,10 @@ fn main() {
     let level = OptLevel::O2;
 
     // Rank passes by their debug-information impact.
-    println!("\nranking {personality} {level} passes over {} programs...", programs.len());
+    println!(
+        "\nranking {personality} {level} passes over {} programs...",
+        programs.len()
+    );
     let ranking = tuner.rank_passes(&programs, personality, level);
     println!("top 10 debug-harmful passes:");
     for (i, e) in ranking.entries.iter().take(10).enumerate() {
@@ -75,4 +78,8 @@ fn main() {
         perf_tuned.speedup,
         100.0 * (perf_tuned.speedup - perf_ref.speedup) / perf_ref.speedup
     );
+
+    let stats = tuner.stats();
+    println!("\n{}", stats.summary());
+    println!("{}", stats.to_json());
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the tier-1 verify
+# (ROADMAP.md). Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "== tier-1 verify: build =="
+cargo build --release
+
+echo "== tier-1 verify: tests =="
+cargo test -q
+
+echo "CI green."

@@ -1,3 +1,2 @@
 //! Shared helpers for workspace-level examples and integration tests.
 pub use debugtuner as core;
-

@@ -46,7 +46,10 @@ fn quality_degrades_with_optimization_and_recovers_with_tuning() {
         &PassGate::allow_all(),
         1_000_000,
     );
-    assert!((e0_ref.product - 1.0).abs() < 1e-9, "O0 against itself is perfect");
+    assert!(
+        (e0_ref.product - 1.0).abs() < 1e-9,
+        "O0 against itself is perfect"
+    );
 
     let e1 = tuner.evaluate(&p, Personality::Gcc, OptLevel::O1);
     let e3 = tuner.evaluate(&p, Personality::Gcc, OptLevel::O3);
@@ -57,13 +60,8 @@ fn quality_degrades_with_optimization_and_recovers_with_tuning() {
     // metric for this program.
     let ranking = tuner.rank_passes(std::slice::from_ref(&p), Personality::Gcc, OptLevel::O3);
     let cfg = debugtuner::dy_config(Personality::Gcc, OptLevel::O3, &ranking, 3);
-    let tuned = debugtuner::eval::evaluate_config(
-        &p,
-        Personality::Gcc,
-        OptLevel::O3,
-        &cfg.gate,
-        1_000_000,
-    );
+    let tuned =
+        debugtuner::eval::evaluate_config(&p, Personality::Gcc, OptLevel::O3, &cfg.gate, 1_000_000);
     assert!(
         tuned.product >= e3.reference.product,
         "O3-d3 ({}) must not be worse than O3 ({})",
@@ -77,8 +75,11 @@ fn quality_degrades_with_optimization_and_recovers_with_tuning() {
 #[test]
 fn all_configurations_agree_on_outputs() {
     let inputs: Vec<Vec<u8>> = vec![vec![1, 2, 3, 200, 255], vec![]];
-    let o0 = compile_source(PROGRAM, &CompileOptions::new(Personality::Gcc, OptLevel::O0))
-        .unwrap();
+    let o0 = compile_source(
+        PROGRAM,
+        &CompileOptions::new(Personality::Gcc, OptLevel::O0),
+    )
+    .unwrap();
     let expected: Vec<_> = inputs
         .iter()
         .map(|i| {
@@ -116,8 +117,11 @@ fn all_configurations_agree_on_outputs() {
 /// produces the same trace from the decoded sections.
 #[test]
 fn debug_sections_roundtrip_through_encoding() {
-    let obj = compile_source(PROGRAM, &CompileOptions::new(Personality::Clang, OptLevel::O2))
-        .unwrap();
+    let obj = compile_source(
+        PROGRAM,
+        &CompileOptions::new(Personality::Clang, OptLevel::O2),
+    )
+    .unwrap();
     let mut bytes = obj.debug.encode();
     let decoded = dt_dwarf::DebugInfo::decode(&mut bytes).unwrap();
     assert_eq!(obj.debug, decoded);

@@ -1,0 +1,261 @@
+//! Offline stand-in for `criterion`: a wall-clock micro-benchmark
+//! harness covering the API this workspace uses — `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Under `cargo test` (cargo passes `--test` to `harness = false`
+//! bench targets) each benchmark body runs exactly once as a smoke
+//! test. Under `cargo bench` every benchmark is warmed up once and
+//! then sampled `sample_size` times; mean/min/max wall-clock are
+//! printed per benchmark.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Run mode, derived from the CLI args cargo hands bench binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// One iteration per benchmark (`cargo test`).
+    Smoke,
+    /// Full sampling (`cargo bench`).
+    Measure,
+}
+
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mode = if args.iter().any(|a| a == "--test") {
+            Mode::Smoke
+        } else {
+            Mode::Measure
+        };
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with('-'))
+            .cloned()
+            .filter(|s| !s.is_empty());
+        Criterion {
+            mode,
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(&id.into().label, sample_size, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+
+    fn run_one<F>(&mut self, label: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = match self.mode {
+            Mode::Smoke => 1,
+            Mode::Measure => sample_size.max(1),
+        };
+        let mut bencher = Bencher {
+            samples,
+            warmup: self.mode == Mode::Measure,
+            times: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.mode == Mode::Measure {
+            report(label, &bencher.times);
+        } else {
+            println!("{label}: ok (smoke)");
+        }
+    }
+}
+
+fn report(label: &str, times: &[Duration]) {
+    if times.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    println!(
+        "{label}: mean {:?} min {:?} max {:?} ({} samples)",
+        mean,
+        min,
+        max,
+        times.len()
+    );
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&label, sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier; renders as `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+pub struct Bencher {
+    samples: usize,
+    warmup: bool,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample; the return value is passed
+    /// through `black_box` so the work is not optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.warmup {
+            black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: 3,
+            warmup: false,
+            times: Vec::new(),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(count, 3);
+        assert_eq!(b.times.len(), 3);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("gcc", "O2").label, "gcc/O2");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+}

@@ -1,0 +1,519 @@
+//! Offline stand-in for `proptest`. Provides the workspace's used
+//! surface: the [`proptest!`] macro, integer/float range strategies,
+//! tuple strategies, `collection::{vec, btree_set}`, `bool::ANY`,
+//! typed (`Arbitrary`) parameters, `prop_assert!`/`prop_assert_eq!`,
+//! and **regression-file replay**: before generating novel cases, any
+//! sibling `*.proptest-regressions` file is read and every `name =
+//! value` assignment in its `# shrinks to ...` comments is re-run
+//! pinned. No shrinking is performed — failures report the values via
+//! the assertion message (pinned regressions are already shrunk).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; a leaner default keeps the
+        // whole-compiler differential tests affordable in CI.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// The per-case value source handed to strategies: a deterministic
+/// RNG plus the pinned assignments of a regression entry being
+/// replayed.
+pub struct TestRunner {
+    rng: SmallRng,
+    pinned: HashMap<String, i128>,
+}
+
+impl TestRunner {
+    fn new(seed: u64, pinned: HashMap<String, i128>) -> Self {
+        TestRunner {
+            rng: SmallRng::seed_from_u64(seed),
+            pinned,
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Binds one named parameter: a pinned regression value if the
+    /// replayed entry names it, otherwise a fresh draw.
+    pub fn bind<S: Strategy>(&mut self, name: &str, strategy: &S) -> S::Value {
+        if let Some(&v) = self.pinned.get(name) {
+            if let Some(value) = strategy.from_pinned(v) {
+                return value;
+            }
+        }
+        strategy.generate(self)
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Rebuilds a value from a pinned integer assignment in a
+    /// regression file, when the value domain allows it.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_pinned(&self, _v: i128) -> Option<Self::Value> {
+        None
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+
+            fn from_pinned(&self, v: i128) -> Option<$t> {
+                let v = <$t>::try_from(v).ok()?;
+                self.contains(&v).then_some(v)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+
+            fn from_pinned(&self, v: i128) -> Option<$t> {
+                let v = <$t>::try_from(v).ok()?;
+                self.contains(&v).then_some(v)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// `proptest::bool::ANY`.
+pub mod bool {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    pub struct Any;
+
+    /// A uniformly random boolean.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+
+        fn generate(&self, runner: &mut TestRunner) -> core::primitive::bool {
+            runner.rng().gen_range(0..2u32) == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Sizes accepted by the collection combinators.
+    pub trait SizeRange {
+        fn pick(&self, runner: &mut TestRunner) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _runner: &mut TestRunner) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = self.size.pick(runner);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            // Proptest treats the size as a target, retrying on
+            // duplicate elements a bounded number of times.
+            let n = self.size.pick(runner);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < n && attempts < n * 16 + 16 {
+                set.insert(self.element.generate(runner));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Types usable as bare `name: Type` proptest parameters.
+pub trait Arbitrary: Sized {
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.rng().gen()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+impl Arbitrary for core::primitive::bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().gen()
+    }
+}
+
+/// One pinned regression entry: the assignments parsed from the
+/// `# shrinks to name = value, ...` comment.
+#[derive(Debug, Clone)]
+pub struct PinnedCase {
+    pub assignments: HashMap<String, i128>,
+    pub raw_line: String,
+}
+
+/// Reads the sibling `*.proptest-regressions` file of a test source
+/// file, tolerating the cwd differences between workspace-root and
+/// package-relative invocation.
+pub fn read_regressions(manifest_dir: &str, source_file: &str) -> Vec<PinnedCase> {
+    let mut candidates: Vec<PathBuf> = Vec::new();
+    let src = Path::new(source_file);
+    if src.is_absolute() {
+        candidates.push(src.to_path_buf());
+    } else {
+        candidates.push(Path::new(manifest_dir).join(src));
+        candidates.push(src.to_path_buf());
+        // file!() paths are workspace-relative when building a
+        // workspace; strip leading components to find the
+        // package-relative remainder.
+        let mut comps = src.components();
+        while comps.next().is_some() {
+            let rest = comps.as_path();
+            if rest.as_os_str().is_empty() {
+                break;
+            }
+            candidates.push(Path::new(manifest_dir).join(rest));
+        }
+    }
+    for candidate in candidates {
+        let reg = candidate.with_extension("proptest-regressions");
+        if let Ok(text) = std::fs::read_to_string(&reg) {
+            return parse_regressions(&text);
+        }
+    }
+    Vec::new()
+}
+
+fn parse_regressions(text: &str) -> Vec<PinnedCase> {
+    let mut cases = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let comment = match line.split_once('#') {
+            Some((_, c)) => c,
+            None => continue,
+        };
+        let mut assignments = HashMap::new();
+        // "shrinks to seed = 15, byte = 3" → {seed: 15, byte: 3}.
+        let payload = comment
+            .trim()
+            .strip_prefix("shrinks to")
+            .unwrap_or(comment)
+            .trim();
+        for part in payload.split(',') {
+            if let Some((name, value)) = part.split_once('=') {
+                if let Ok(v) = value.trim().parse::<i128>() {
+                    assignments.insert(name.trim().to_string(), v);
+                }
+            }
+        }
+        if !assignments.is_empty() {
+            cases.push(PinnedCase {
+                assignments,
+                raw_line: line.to_string(),
+            });
+        }
+    }
+    cases
+}
+
+/// Drives one property test: pinned regression entries first, then
+/// `config.cases` fresh deterministic cases.
+pub fn run_cases(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    mut body: impl FnMut(&mut TestRunner),
+) {
+    let name_seed = fnv1a(test_name.as_bytes());
+    for pinned in read_regressions(manifest_dir, source_file) {
+        let mut runner = TestRunner::new(name_seed, pinned.assignments.clone());
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut runner)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest: pinned regression failed for `{test_name}`: {}",
+                pinned.raw_line
+            );
+            resume_unwind(payload);
+        }
+    }
+    for case in 0..config.cases {
+        let mut runner = TestRunner::new(name_seed.wrapping_add(case as u64), HashMap::new());
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut runner)));
+        if let Err(payload) = outcome {
+            eprintln!("proptest: case {case} failed for `{test_name}`");
+            resume_unwind(payload);
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Binds the parameter list of a proptest function. Each parameter is
+/// either `name in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($runner:ident $(,)?) => {};
+    ($runner:ident, $name:ident in $strat:expr) => {
+        let $name = $runner.bind(stringify!($name), &$strat);
+    };
+    ($runner:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $runner.bind(stringify!($name), &$strat);
+        $crate::__proptest_bind!($runner, $($rest)*);
+    };
+    ($runner:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary($runner);
+    };
+    ($runner:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary($runner);
+        $crate::__proptest_bind!($runner, $($rest)*);
+    };
+}
+
+/// Expands each property function into a `#[test]`.
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;) => {};
+    // Callers annotate each property fn with `#[test]` themselves
+    // (matching real proptest usage in this workspace), so the metas
+    // are passed through unchanged rather than adding another one.
+    (config = $cfg:expr; $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                &__config,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__runner: &mut $crate::TestRunner| {
+                    $crate::__proptest_bind!(__runner, $($params)*);
+                    $body
+                },
+            );
+        }
+        $crate::__proptest_fns!(config = $cfg; $($rest)*);
+    };
+}
+
+/// The `proptest!` entry macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(config = $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(config = $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Assertion macros: identical to std asserts (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, Strategy, TestRunner};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut runner = TestRunner::new(1, HashMap::new());
+        for _ in 0..500 {
+            let v = (3u32..9).generate(&mut runner);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pinned_overrides_generation() {
+        let mut pinned = HashMap::new();
+        pinned.insert("seed".to_string(), 15i128);
+        let mut runner = TestRunner::new(1, pinned);
+        assert_eq!(runner.bind("seed", &(0u64..500)), 15);
+        let free = runner.bind("other", &(0u64..500));
+        assert!(free < 500);
+    }
+
+    #[test]
+    fn regression_comments_parse() {
+        let cases = parse_regressions(
+            "# header comment\n\
+             cc d50364f76 # shrinks to seed = 15\n\
+             cc 0dfb71194 # shrinks to seed = 118, byte = 3\n",
+        );
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].assignments["seed"], 15);
+        assert_eq!(cases[1].assignments["byte"], 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_smoke(a in 0u8..10, b: u32) {
+            prop_assert!(a < 10);
+            let _ = b;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tuple_and_collections(parts in crate::collection::vec((0u32..10, crate::bool::ANY), 0..6)) {
+            prop_assert!(parts.len() < 6);
+            for (n, _flag) in parts {
+                prop_assert!(n < 10);
+            }
+        }
+    }
+}

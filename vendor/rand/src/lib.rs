@@ -1,0 +1,378 @@
+//! Offline stand-in for `rand` 0.8. Provides the subset this
+//! workspace uses: [`rngs::SmallRng`] (xoshiro256++, seeded via
+//! SplitMix64 exactly like rand 0.8's implementation), the
+//! [`RngCore`] / [`SeedableRng`] traits, and an [`Rng`] extension
+//! trait with `gen`, `gen_range` (Lemire widening-multiply sampling),
+//! and `gen_bool` (64-bit fixed-point Bernoulli).
+//!
+//! Determinism is the load-bearing property: every seed maps to one
+//! byte stream forever, so synthesized programs and fuzzing corpora
+//! are reproducible across runs and across the parallel evaluation
+//! engine's worker threads.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let raw = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&raw[..rem.len()]);
+        }
+    }
+}
+
+/// Seedable generator interface.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed with SplitMix64, as rand 0.8 does for
+    /// xoshiro-family generators.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let raw = z.to_le_bytes();
+            let n = chunk.len().min(8);
+            chunk.copy_from_slice(&raw[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — rand 0.8's 64-bit `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(raw);
+            }
+            // An all-zero state would be a fixed point; rand avoids it
+            // the same way (the SplitMix64 expansion never produces it
+            // for seed_from_u64, this guards direct from_seed misuse).
+            if s == [0; 4] {
+                s = [
+                    0x9e37_79b9_7f4a_7c15,
+                    0x6c62_272e_07bb_0142,
+                    0x62b8_2175_6295_c58d,
+                    0x0000_0000_0000_0001,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            // Upper half: the low bits of ++ scramblers are fine, but
+            // rand 0.8 takes the high word — match that choice.
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// `StdRng` alias: same deterministic generator in this stand-in.
+    pub type StdRng = SmallRng;
+}
+
+mod sample {
+    use super::RngCore;
+
+    /// Types that `gen` can produce from raw generator output.
+    pub trait Standard: Sized {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! standard_small {
+        ($($t:ty),*) => {$(
+            impl Standard for $t {
+                fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u32() as $t
+                }
+            }
+        )*};
+    }
+    standard_small!(u8, i8, u16, i16, u32, i32);
+
+    macro_rules! standard_large {
+        ($($t:ty),*) => {$(
+            impl Standard for $t {
+                fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_large!(u64, i64, usize, isize);
+
+    impl Standard for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 uniform mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    /// Uniform sampling over a range, one impl per integer width.
+    pub trait SampleUniform: Sized {
+        fn sample_range<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty => $unsigned:ty, $large:ty, $large_bits:expr);* $(;)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = if inclusive {
+                        assert!(low <= high, "gen_range: empty range");
+                        (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1) as $large
+                    } else {
+                        assert!(low < high, "gen_range: empty range");
+                        (high as $unsigned).wrapping_sub(low as $unsigned) as $large
+                    };
+                    if span == 0 {
+                        // Inclusive range covering the whole domain.
+                        return <$large as RawFrom>::raw(rng) as $t;
+                    }
+                    // Lemire's widening-multiply method with a
+                    // rejection zone, as rand 0.8's sample_single.
+                    let zone: $large = (span << span.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: $large = <$large as RawFrom>::raw(rng);
+                        let big = (v as u128) * (span as u128);
+                        let hi = (big >> $large_bits) as $large;
+                        let lo = big as $large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $t);
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    /// Raw full-width draw used by the rejection loop.
+    pub trait RawFrom: Sized {
+        fn raw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+    impl RawFrom for u32 {
+        fn raw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+    impl RawFrom for u64 {
+        fn raw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    uniform_int! {
+        u8 => u8, u32, 32;
+        i8 => u8, u32, 32;
+        u16 => u16, u32, 32;
+        i16 => u16, u32, 32;
+        u32 => u32, u32, 32;
+        i32 => u32, u32, 32;
+        u64 => u64, u64, 64;
+        i64 => u64, u64, 64;
+        usize => usize, u64, 64;
+        isize => usize, u64, 64;
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_range<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self {
+            assert!(
+                low < high || (inclusive && low <= high),
+                "gen_range: empty range"
+            );
+            let unit: f64 = Standard::sample(rng);
+            low + unit * (high - low)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_range<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self {
+            assert!(
+                low < high || (inclusive && low <= high),
+                "gen_range: empty range"
+            );
+            let unit: f32 = Standard::sample(rng);
+            low + unit * (high - low)
+        }
+    }
+}
+
+pub use sample::{SampleUniform, Standard};
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// generator.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw via 64-bit fixed point (rand 0.8's method).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not a probability");
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * (1u128 << 64) as f64) as u64;
+        self.next_u64() < p_int
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-20..20);
+            assert!((-20..20).contains(&v));
+            let u = rng.gen_range(0..=5u32);
+            assert!(u <= 5);
+            let f = rng.gen_range(0.25f64..4.0);
+            assert!((0.25..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_600..3_400).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
