@@ -76,6 +76,8 @@ mod tests {
                     positive_programs: 1,
                     negative_programs: 0,
                     neutral_programs: 0,
+                    mean_defect_delta: 0.0,
+                    defect_reducing_programs: 0,
                 })
                 .collect(),
             programs: 1,

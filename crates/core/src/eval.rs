@@ -12,6 +12,7 @@
 //! scheduling.
 
 use crate::telemetry::Telemetry;
+use dt_checker::DefectSummary;
 use dt_metrics::Metrics;
 use dt_minic::analysis::SourceAnalysis;
 use dt_passes::{
@@ -23,10 +24,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Shared map from object content hash to variant metrics, scoped by a
-/// program/personality/level key so entries are only reused where the
-/// baseline trace and input set are the same.
-pub(crate) type TraceCache = Mutex<HashMap<(String, u64), Metrics>>;
+/// Shared map from object content hash to variant metrics plus the
+/// correctness-oracle summary, scoped by a program/personality/level
+/// key so entries are only reused where the baseline trace and input
+/// set are the same.
+pub(crate) type TraceCache = Mutex<HashMap<(String, u64), (Metrics, DefectSummary)>>;
 
 /// Execution context for one evaluation: worker count plus optional
 /// shared telemetry and trace cache (both owned by [`crate::DebugTuner`]
@@ -102,6 +104,15 @@ pub struct PassEffect {
     pub metrics: Option<Metrics>,
     /// `(M_{o,t} - M_o) / M_o` on the product metric.
     pub relative_increment: f64,
+    /// Correctness-oracle summary of the variant's trace against the
+    /// O0 ground truth; `None` when the variant was pruned (the
+    /// summary then equals the reference's).
+    #[serde(default)]
+    pub defects: Option<DefectSummary>,
+    /// Variant defect rate minus reference defect rate: negative means
+    /// disabling the pass makes the surviving debug info more truthful.
+    #[serde(default)]
+    pub defect_delta: f64,
 }
 
 impl PassEffect {
@@ -125,6 +136,10 @@ pub struct ProgramEvaluation {
     /// Steppable lines in the O0 binary / stepped by the input set.
     pub steppable_lines_o0: usize,
     pub stepped_lines_o0: usize,
+    /// Correctness-oracle summary of the unmodified level against the
+    /// O0 ground truth (the `M_o` baseline's truthfulness).
+    #[serde(default)]
+    pub reference_defects: DefectSummary,
 }
 
 /// Computes the hybrid metrics of an object against a baseline trace.
@@ -140,6 +155,7 @@ fn metrics_for(
     let session = dt_debugger::SessionConfig {
         max_steps_per_input: max_steps,
         entry_args: entry_args.to_vec(),
+        ground_truth: false,
     };
     let trace = dt_debugger::trace(obj, harness, inputs, &session).expect("debug session runs");
     let m = dt_metrics::hybrid(&trace, base, analysis);
@@ -202,10 +218,15 @@ pub(crate) fn evaluate_program_ctx(
     ctx.with_telemetry(|t| t.record_build(build_start.elapsed()));
 
     // Stage 2+3: baseline and reference traces (source-refined by the
-    // hybrid metric itself).
+    // hybrid metric itself). The baseline session records ground-truth
+    // values from the VM's shadow state so the correctness oracle can
+    // diff variant traces against source semantics; variable
+    // *visibility* stays loclist-based, so the availability metrics
+    // are untouched.
     let session = dt_debugger::SessionConfig {
         max_steps_per_input: max_steps,
         entry_args: program.entry_args.clone(),
+        ground_truth: true,
     };
     let trace_start = Instant::now();
     let base_trace = dt_debugger::trace(&o0, &program.harness, &program.inputs, &session)
@@ -223,6 +244,7 @@ pub(crate) fn evaluate_program_ctx(
     );
     ctx.with_telemetry(|t| t.record_trace(trace_start.elapsed()));
     let methods = dt_metrics::all_methods(&reference_obj.debug, &ref_trace, &base_trace, &analysis);
+    let reference_defects = dt_checker::check(&ref_trace, &base_trace, &analysis).summary;
 
     // Stage 4: one variant per gateable pass, with `.text` pruning and
     // content-addressed sharing of trace/metric work. Each pass gets a
@@ -242,6 +264,8 @@ pub(crate) fn evaluate_program_ctx(
                 pass: pass.to_string(),
                 metrics: None,
                 relative_increment: 0.0,
+                defects: None,
+                defect_delta: 0.0,
             };
         }
         let cache_key = ctx
@@ -254,9 +278,9 @@ pub(crate) fn evaluate_program_ctx(
             }
             hit
         });
-        let m = cached.unwrap_or_else(|| {
+        let (m, defects) = cached.unwrap_or_else(|| {
             let trace_start = Instant::now();
-            let (m, _) = metrics_for(
+            let (m, variant_trace) = metrics_for(
                 &variant,
                 &program.harness,
                 &program.inputs,
@@ -265,11 +289,12 @@ pub(crate) fn evaluate_program_ctx(
                 &analysis,
                 max_steps,
             );
+            let defects = dt_checker::check(&variant_trace, &base_trace, &analysis).summary;
             ctx.with_telemetry(|t| t.record_trace(trace_start.elapsed()));
             if let Some(k) = cache_key {
-                ctx.trace_cache.unwrap().lock().insert(k, m);
+                ctx.trace_cache.unwrap().lock().insert(k, (m, defects));
             }
-            m
+            (m, defects)
         });
         let rel = if reference.product > 0.0 {
             (m.product - reference.product) / reference.product
@@ -282,6 +307,8 @@ pub(crate) fn evaluate_program_ctx(
             pass: pass.to_string(),
             metrics: Some(m),
             relative_increment: rel,
+            defects: Some(defects),
+            defect_delta: defects.rate() - reference_defects.rate(),
         }
     };
 
@@ -318,6 +345,7 @@ pub(crate) fn evaluate_program_ctx(
         effects,
         steppable_lines_o0: o0.debug.steppable_lines().len(),
         stepped_lines_o0: base_trace.stepped_lines().len(),
+        reference_defects,
     }
 }
 
@@ -340,6 +368,7 @@ pub fn evaluate_config(
     let session = dt_debugger::SessionConfig {
         max_steps_per_input: max_steps,
         entry_args: program.entry_args.clone(),
+        ground_truth: false,
     };
     let base_trace = dt_debugger::trace(&o0, &program.harness, &program.inputs, &session)
         .expect("baseline session");

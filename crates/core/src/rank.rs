@@ -23,6 +23,16 @@ pub struct RankEntry {
     pub positive_programs: usize,
     pub negative_programs: usize,
     pub neutral_programs: usize,
+    /// Correctness dimension: mean across programs of the variant's
+    /// defect-rate delta vs the reference (negative = disabling the
+    /// pass makes the surviving debug info more truthful). Reported
+    /// alongside availability; does not influence the ordering.
+    #[serde(default)]
+    pub mean_defect_delta: f64,
+    /// Programs in which disabling the pass strictly reduced the
+    /// defect rate.
+    #[serde(default)]
+    pub defect_reducing_programs: usize,
 }
 
 /// The aggregated ranking.
@@ -85,8 +95,17 @@ pub fn rank_passes_across(evals: &[ProgramEvaluation]) -> PassRanking {
     let mut pos: HashMap<&str, usize> = HashMap::new();
     let mut neg: HashMap<&str, usize> = HashMap::new();
     let mut neu: HashMap<&str, usize> = HashMap::new();
+    let mut defect_delta_sums: HashMap<&str, f64> = HashMap::new();
+    let mut defect_reducing: HashMap<&str, usize> = HashMap::new();
 
     for eval in evals {
+        for e in &eval.effects {
+            let p = e.pass.as_str();
+            *defect_delta_sums.entry(p).or_insert(0.0) += e.defect_delta;
+            if e.defect_delta < -1e-12 {
+                *defect_reducing.entry(p).or_insert(0) += 1;
+            }
+        }
         // Sort this program's effects: positive first by magnitude,
         // then neutral (shared rank), then negative.
         let mut order: Vec<(&str, f64)> = eval
@@ -137,6 +156,8 @@ pub fn rank_passes_across(evals: &[ProgramEvaluation]) -> PassRanking {
                 positive_programs: pos.get(p).copied().unwrap_or(0),
                 negative_programs: neg.get(p).copied().unwrap_or(0),
                 neutral_programs: neu.get(p).copied().unwrap_or(0),
+                mean_defect_delta: defect_delta_sums.get(p).copied().unwrap_or(0.0) / n,
+                defect_reducing_programs: defect_reducing.get(p).copied().unwrap_or(0),
             }
         })
         .collect();
@@ -188,10 +209,13 @@ mod tests {
                         product: 0.25 * (1.0 + rel),
                     }),
                     relative_increment: rel,
+                    defects: None,
+                    defect_delta: 0.0,
                 })
                 .collect(),
             steppable_lines_o0: 0,
             stepped_lines_o0: 0,
+            reference_defects: Default::default(),
         }
     }
 

@@ -41,12 +41,16 @@ impl Default for FuzzConfig {
 /// Campaign outcome.
 #[derive(Debug, Clone)]
 pub struct FuzzReport {
-    /// The queue: every input that added coverage, in discovery order.
+    /// The queue: every input that added coverage (or that the oracle
+    /// flagged), in discovery order.
     pub queue: Vec<Vec<u8>>,
     /// Total coverage points reached.
     pub coverage_points: usize,
     /// Executions performed.
     pub executions: u32,
+    /// Inputs the interestingness oracle flagged, in discovery order
+    /// (deduplicated). Empty for plain coverage-only campaigns.
+    pub oracle_hits: Vec<Vec<u8>>,
 }
 
 /// Runs one execution with coverage.
@@ -68,17 +72,45 @@ pub fn run_with_coverage(
 
 /// Runs a fuzzing campaign against `entry` of `obj`.
 pub fn fuzz(obj: &Object, entry: &str, seeds: &[Vec<u8>], config: &FuzzConfig) -> FuzzReport {
+    fuzz_with_oracle(obj, entry, seeds, config, |_| false)
+}
+
+/// Runs a fuzzing campaign with an extra interestingness `oracle`:
+/// every executed input that completes is offered to the oracle, and
+/// flagged inputs join the queue as mutation parents even when they
+/// add no coverage (they are "interesting" for a reason coverage
+/// cannot see — e.g. they expose a debug-info defect). With a
+/// constant-`false` oracle this is exactly [`fuzz`].
+pub fn fuzz_with_oracle<F: FnMut(&[u8]) -> bool>(
+    obj: &Object,
+    entry: &str,
+    seeds: &[Vec<u8>],
+    config: &FuzzConfig,
+    mut oracle: F,
+) -> FuzzReport {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut global = CoverageMap::new(obj.code.len() * 2 + obj.funcs.len());
     let mut queue: Vec<Vec<u8>> = Vec::new();
+    let mut oracle_hits: Vec<Vec<u8>> = Vec::new();
 
-    let try_input = |input: Vec<u8>, queue: &mut Vec<Vec<u8>>, global: &mut CoverageMap| -> bool {
+    let mut try_input = |input: Vec<u8>,
+                         queue: &mut Vec<Vec<u8>>,
+                         oracle_hits: &mut Vec<Vec<u8>>,
+                         global: &mut CoverageMap|
+     -> bool {
         let Some(cov) = run_with_coverage(obj, entry, &input, config.max_steps, &config.entry_args)
         else {
             return false;
         };
+        let flagged = oracle(&input) && !oracle_hits.contains(&input);
+        if flagged {
+            oracle_hits.push(input.clone());
+        }
         if cov.adds_to(global) {
             global.merge(&cov);
+            queue.push(input);
+            true
+        } else if flagged && !queue.contains(&input) {
             queue.push(input);
             true
         } else {
@@ -91,14 +123,14 @@ pub fn fuzz(obj: &Object, entry: &str, seeds: &[Vec<u8>], config: &FuzzConfig) -
     let mut executions = 0u32;
     for (i, s) in seeds.iter().enumerate() {
         executions += 1;
-        let added = try_input(s.clone(), &mut queue, &mut global);
+        let added = try_input(s.clone(), &mut queue, &mut oracle_hits, &mut global);
         if i == 0 && !added && queue.is_empty() {
             queue.push(s.clone());
         }
     }
     if queue.is_empty() {
         executions += 1;
-        try_input(vec![0u8; 4], &mut queue, &mut global);
+        try_input(vec![0u8; 4], &mut queue, &mut oracle_hits, &mut global);
         if queue.is_empty() {
             queue.push(vec![0u8; 4]);
         }
@@ -108,13 +140,14 @@ pub fn fuzz(obj: &Object, entry: &str, seeds: &[Vec<u8>], config: &FuzzConfig) -
         executions += 1;
         let parent = &queue[rng.gen_range(0..queue.len())];
         let child = mutate(parent, &queue, config.max_len, &mut rng);
-        try_input(child, &mut queue, &mut global);
+        try_input(child, &mut queue, &mut oracle_hits, &mut global);
     }
 
     FuzzReport {
         coverage_points: global.count(),
         executions,
         queue,
+        oracle_hits,
     }
 }
 
@@ -244,6 +277,43 @@ int process() {
             }
         }
         assert_eq!(adds, report.queue.len());
+    }
+
+    #[test]
+    fn oracle_hits_join_the_queue() {
+        let obj = object();
+        let cfg = FuzzConfig {
+            iterations: 1_500,
+            ..Default::default()
+        };
+        // Flag any input whose first byte is odd — coverage-blind.
+        let report = fuzz_with_oracle(&obj, "process", &[vec![0, 0, 0, 0]], &cfg, |i| {
+            i.first().is_some_and(|b| b % 2 == 1)
+        });
+        assert!(!report.oracle_hits.is_empty(), "oracle never fired");
+        for hit in &report.oracle_hits {
+            assert_eq!(hit[0] % 2, 1);
+            assert!(report.queue.contains(hit), "hits become mutation parents");
+        }
+        // Dedup: no input flagged twice.
+        let mut sorted = report.oracle_hits.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), report.oracle_hits.len());
+    }
+
+    #[test]
+    fn noop_oracle_matches_plain_fuzz() {
+        let obj = object();
+        let cfg = FuzzConfig {
+            iterations: 1_000,
+            ..Default::default()
+        };
+        let plain = fuzz(&obj, "process", &[vec![0, 0, 0, 0]], &cfg);
+        let orc = fuzz_with_oracle(&obj, "process", &[vec![0, 0, 0, 0]], &cfg, |_| false);
+        assert_eq!(plain.queue, orc.queue);
+        assert_eq!(plain.coverage_points, orc.coverage_points);
+        assert!(orc.oracle_hits.is_empty());
     }
 
     #[test]

@@ -67,6 +67,7 @@ fn stepped_lines(
     let cfg = dt_debugger::SessionConfig {
         max_steps_per_input: max_steps,
         entry_args: entry_args.to_vec(),
+        ..Default::default()
     };
     dt_debugger::trace(obj, entry, std::slice::from_ref(&input.to_vec()), &cfg)
         .map(|t| t.stepped_lines())

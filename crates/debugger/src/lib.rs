@@ -23,6 +23,12 @@ pub struct LineObservation {
     pub func: String,
     /// Variables of that function visible with a value at the stop.
     pub vars: BTreeSet<String>,
+    /// The value the debugger would print for each visible variable
+    /// (resolved through the location list against live machine state),
+    /// or — in a ground-truth session — the variable's true value per
+    /// O0 semantics. Absent in PR-1-era traces, hence defaulted.
+    #[serde(default)]
+    pub values: BTreeMap<String, i64>,
 }
 
 /// A debug trace: one observation per stepped source line.
@@ -31,10 +37,17 @@ pub struct DebugTrace {
     /// Stepped line → observation (first hit wins, as with temporary
     /// breakpoints).
     pub lines: BTreeMap<u32, LineObservation>,
-    /// Total breakpoint hits (= distinct stepped lines).
+    /// Total breakpoint hits (= distinct stepped lines; each line's
+    /// breakpoints are removed on first hit, so every hit is a new
+    /// line — asserted at the end of [`trace`]).
     pub hits: u64,
     /// Number of inputs executed to produce the trace.
     pub inputs_run: usize,
+    /// Stepped lines in first-hit order. Used by the checker to decide
+    /// whether a wrong value is *stale* (held earlier in the run).
+    /// Absent in PR-1-era traces, hence defaulted.
+    #[serde(default)]
+    pub hit_order: Vec<u32>,
 }
 
 impl DebugTrace {
@@ -66,6 +79,12 @@ pub struct SessionConfig {
     pub max_steps_per_input: u64,
     /// Call arguments passed to the harness entry point.
     pub entry_args: Vec<i64>,
+    /// Record ground-truth variable values from the VM's shadow state
+    /// (per-frame `dbg.value` bindings) instead of what the location
+    /// lists claim. Meaningful on O0 builds, where the shadow state is
+    /// exact; variable *visibility* stays loclist-based either way, so
+    /// availability metrics are unaffected.
+    pub ground_truth: bool,
 }
 
 impl Default for SessionConfig {
@@ -73,6 +92,7 @@ impl Default for SessionConfig {
         SessionConfig {
             max_steps_per_input: 5_000_000,
             entry_args: Vec::new(),
+            ground_truth: false,
         }
     }
 }
@@ -108,6 +128,7 @@ pub fn trace(
         }
         let vm_config = VmConfig {
             max_steps: config.max_steps_per_input,
+            track_dbg_bindings: config.ground_truth,
             ..VmConfig::default()
         };
         let mut vm = Vm::new(obj, entry, &config.entry_args, input, vm_config)?;
@@ -121,9 +142,12 @@ pub fn trace(
             );
             if !at_pseudo {
                 if let Some(line) = bp_by_addr.get(&addr).copied() {
-                    let obs = observe(obj, &vm, addr);
+                    let obs = observe(obj, &vm, addr, config.ground_truth);
                     trace.hits += 1;
-                    trace.lines.entry(line).or_insert(obs);
+                    if let std::collections::btree_map::Entry::Vacant(e) = trace.lines.entry(line) {
+                        e.insert(obs);
+                        trace.hit_order.push(line);
+                    }
                     // Temporary: clear every location of this line.
                     for a in addrs_of_line.remove(&line).unwrap_or_default() {
                         bp_by_addr.remove(&a);
@@ -134,28 +158,65 @@ pub fn trace(
         }
         trace.inputs_run += 1;
     }
+    debug_assert_eq!(
+        trace.hits as usize,
+        trace.lines.len(),
+        "temporary breakpoints: every hit is a distinct line"
+    );
     Ok(trace)
 }
 
 /// Collects the variables visible with a value at the stop address.
-fn observe(obj: &Object, vm: &Vm<'_>, pc: u32) -> LineObservation {
+fn observe(obj: &Object, vm: &Vm<'_>, pc: u32, ground_truth: bool) -> LineObservation {
     let Some((sp_idx, sp)) = obj.debug.subprogram_at(pc) else {
         return LineObservation {
             func: String::new(),
             vars: BTreeSet::new(),
+            values: BTreeMap::new(),
         };
     };
-    let mut vars = BTreeSet::new();
+    // Values are keyed per *record instance*: a name shadowed across
+    // sibling scopes gets an `#k` occurrence suffix so the loclist
+    // path and the shadow ground truth always describe the same
+    // record (keying by bare name would let the two paths pick
+    // different instances and report spurious divergences). `vars`
+    // keeps bare names — visibility metrics are unchanged.
+    let mut name_count: BTreeMap<&str, u32> = BTreeMap::new();
+    let mut keys: Vec<String> = Vec::new();
     for var in obj.debug.vars_of(sp_idx) {
+        let k = name_count.entry(var.name.as_str()).or_insert(0u32);
+        keys.push(if *k == 0 {
+            var.name.clone()
+        } else {
+            format!("{}#{}", var.name, *k)
+        });
+        *k += 1;
+    }
+    let mut vars = BTreeSet::new();
+    let mut values = BTreeMap::new();
+    for (i, var) in obj.debug.vars_of(sp_idx).enumerate() {
         if let Some(loc) = var.loclist.at(pc) {
-            if vm.read_location(loc).is_some() {
+            if let Some(v) = vm.read_location(loc) {
                 vars.insert(var.name.clone());
+                if !ground_truth {
+                    values.insert(keys[i].clone(), v);
+                }
+            }
+        }
+    }
+    if ground_truth {
+        // `dbg.value` var indices are function-local and VarRecords are
+        // emitted in the same order, so index n is the n-th record.
+        for (var_idx, v) in vm.shadow_values() {
+            if let Some(key) = keys.get(var_idx as usize) {
+                values.insert(key.clone(), v);
             }
         }
     }
     LineObservation {
         func: sp.name.clone(),
         vars,
+        values,
     }
 }
 
@@ -237,6 +298,70 @@ int main() {
         let t = trace(&obj, "main", &[vec![50]], &SessionConfig::default()).unwrap();
         assert_eq!(t.lines[&2].func, "helper");
         assert_eq!(t.lines[&6].func, "main");
+    }
+
+    #[test]
+    fn values_resolve_through_loclists_at_o0() {
+        let obj = object(PROGRAM);
+        let t = trace(&obj, "main", &[vec![50]], &SessionConfig::default()).unwrap();
+        // On line 8 (the if-condition ran; x = 50 already stored).
+        assert_eq!(t.lines[&8].values.get("x"), Some(&50));
+        // On line 13 (out(y)), y = helper(50) = 101.
+        assert_eq!(t.lines[&13].values.get("y"), Some(&101));
+        // Inside helper with v = 50, line 3 sees w = 100.
+        assert_eq!(t.lines[&3].values.get("w"), Some(&100));
+    }
+
+    #[test]
+    fn ground_truth_matches_loclist_values_at_o0() {
+        // At O0 locations are home slots, so the debugger's view and
+        // the shadow state agree wherever both report a value.
+        let obj = object(PROGRAM);
+        let plain = trace(&obj, "main", &[vec![50]], &SessionConfig::default()).unwrap();
+        let cfg = SessionConfig {
+            ground_truth: true,
+            ..SessionConfig::default()
+        };
+        let gt = trace(&obj, "main", &[vec![50]], &cfg).unwrap();
+        assert_eq!(plain.stepped_lines(), gt.stepped_lines());
+        for (line, obs) in &gt.lines {
+            let p = &plain.lines[line];
+            assert_eq!(obs.vars, p.vars, "visibility stays loclist-based");
+            for (name, v) in &obs.values {
+                if let Some(pv) = p.values.get(name) {
+                    assert_eq!(v, pv, "line {line} var {name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hit_order_records_first_hits_in_execution_order() {
+        let obj = object(PROGRAM);
+        let t = trace(&obj, "main", &[vec![50]], &SessionConfig::default()).unwrap();
+        assert_eq!(t.hit_order.len(), t.lines.len());
+        let as_set: BTreeSet<u32> = t.hit_order.iter().copied().collect();
+        assert_eq!(as_set, t.stepped_lines());
+        // main's first line steps before helper's body.
+        let pos = |l: u32| t.hit_order.iter().position(|&x| x == l).unwrap();
+        assert!(pos(6) < pos(2), "main:6 steps before helper:2");
+    }
+
+    #[test]
+    fn from_json_accepts_pr1_era_traces() {
+        // A trace serialized before values/hit_order existed.
+        let legacy = r#"{
+            "lines": {
+                "4": { "func": "main", "vars": ["x", "y"] }
+            },
+            "hits": 1,
+            "inputs_run": 1
+        }"#;
+        let t = DebugTrace::from_json(legacy).unwrap();
+        assert_eq!(t.hits, 1);
+        assert!(t.lines[&4].values.is_empty());
+        assert!(t.hit_order.is_empty());
+        assert!(t.lines[&4].vars.contains("x"));
     }
 
     #[test]

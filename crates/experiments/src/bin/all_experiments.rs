@@ -52,6 +52,7 @@ fn main() {
         "fig04_selfcompile",
         &experiments::fig04_selfcompile(&tuner, &programs),
     );
+    experiments::emit("table16_correctness", &experiments::table16_correctness());
 
     eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
 }

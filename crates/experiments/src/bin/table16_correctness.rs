@@ -1,0 +1,4 @@
+//! Table XVI: debug-info correctness defects vs O0 ground truth.
+fn main() {
+    experiments::emit("table16_correctness", &experiments::table16_correctness());
+}

@@ -818,6 +818,86 @@ pub fn fig04_selfcompile(tuner: &DebugTuner, programs: &[ProgramInput]) -> Strin
     out
 }
 
+// --------------------------------------------------------------- T16
+
+/// Table XVI: debug-info *correctness* defects against O0 ground
+/// truth, per personality and level, classified by the checker's
+/// taxonomy (wrong / stale / phantom / misplaced).
+pub fn table16_correctness() -> String {
+    let programs = suite_inputs();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table XVI — debug-info correctness defects vs O0 ground truth ({} programs)",
+        programs.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<9} {:<5} | {:>6} {:>6} {:>8} {:>10} {:>6} | {:>8} {:>8} {:>8}",
+        "compiler",
+        "level",
+        "wrong",
+        "stale",
+        "phantom",
+        "misplaced",
+        "total",
+        "lines",
+        "values",
+        "rate"
+    );
+    // Aggregate defect count per level across both personalities (the
+    // headline "more optimization, more lies" series).
+    let mut per_level: Vec<(OptLevel, u32)> = Vec::new();
+    for personality in [Personality::Gcc, Personality::Clang] {
+        for &level in OptLevel::levels_for(personality) {
+            let mut sum = dt_checker::DefectSummary::default();
+            let options = dt_passes::CompileOptions::new(personality, level);
+            for p in &programs {
+                let r = dt_checker::check_compiled(
+                    &p.source,
+                    &p.harness,
+                    &p.inputs,
+                    &p.entry_args,
+                    &options,
+                    3_000_000,
+                )
+                .unwrap_or_else(|e| panic!("checker failed on {}: {e}", p.name));
+                let s = r.summary;
+                sum.wrong += s.wrong;
+                sum.stale += s.stale;
+                sum.phantom += s.phantom;
+                sum.misplaced += s.misplaced;
+                sum.lines_checked += s.lines_checked;
+                sum.values_checked += s.values_checked;
+            }
+            let _ = writeln!(
+                out,
+                "{:<9} {:<5} | {:>6} {:>6} {:>8} {:>10} {:>6} | {:>8} {:>8} {:>8.4}",
+                personality.name(),
+                level.name(),
+                sum.wrong,
+                sum.stale,
+                sum.phantom,
+                sum.misplaced,
+                sum.total(),
+                sum.lines_checked,
+                sum.values_checked,
+                sum.rate()
+            );
+            match per_level.iter_mut().find(|(l, _)| *l == level) {
+                Some((_, t)) => *t += sum.total(),
+                None => per_level.push((level, sum.total())),
+            }
+        }
+    }
+    per_level.sort_by_key(|(l, _)| *l);
+    let _ = writeln!(out, "aggregate defects per level (both personalities):");
+    for (level, total) in &per_level {
+        let _ = writeln!(out, "  {:<5} {:>6}", level.name(), total);
+    }
+    out
+}
+
 /// Builds a shared tuner sized for the experiment binaries.
 pub fn make_tuner() -> DebugTuner {
     DebugTuner::new(TunerConfig {

@@ -239,6 +239,7 @@ mod tests {
         LineObservation {
             func: func.into(),
             vars: vars.iter().map(|s| s.to_string()).collect(),
+            values: BTreeMap::new(),
         }
     }
 
@@ -247,6 +248,7 @@ mod tests {
         DebugTrace {
             hits: map.len() as u64,
             inputs_run: 1,
+            hit_order: map.keys().copied().collect(),
             lines: map,
         }
     }

@@ -27,7 +27,8 @@ pub mod coverage;
 pub use coverage::CoverageMap;
 
 use dt_dwarf::Location;
-use dt_machine::{FOp, Object};
+use dt_machine::{FDbgLoc, FOp, Object};
+use std::collections::BTreeMap;
 
 /// Run-time limits and observation switches.
 #[derive(Debug, Clone)]
@@ -40,6 +41,11 @@ pub struct VmConfig {
     pub collect_coverage: bool,
     /// Maximum call depth.
     pub max_depth: usize,
+    /// Track `dbg.value` bindings per frame so [`Vm::shadow_values`]
+    /// can resolve source-variable values against live state. Used by
+    /// the correctness checker's ground-truth sessions; off by default
+    /// because the bindings cost a map update per debug pseudo.
+    pub track_dbg_bindings: bool,
 }
 
 impl Default for VmConfig {
@@ -49,6 +55,7 @@ impl Default for VmConfig {
             sample_interval: None,
             collect_coverage: false,
             max_depth: 512,
+            track_dbg_bindings: false,
         }
     }
 }
@@ -86,6 +93,9 @@ struct Frame {
     frame_base: usize,
     saved_args: [i64; 8],
     func: u32,
+    /// Last `dbg.value` binding per function-local variable index.
+    /// Only populated when [`VmConfig::track_dbg_bindings`] is set.
+    dbg_bindings: BTreeMap<u32, FDbgLoc>,
 }
 
 /// An executing VM instance. Use [`Vm::run_to_completion`] for plain
@@ -152,6 +162,7 @@ impl<'a> Vm<'a> {
                 frame_base: 0,
                 saved_args: [0; 8],
                 func: fid,
+                dbg_bindings: BTreeMap::new(),
             }],
             globals,
             input,
@@ -228,6 +239,34 @@ impl<'a> Vm<'a> {
         }
     }
 
+    /// Resolves the current frame's `dbg.value` bindings against live
+    /// machine state, yielding `(function-local var index, value)`
+    /// pairs sorted by index. At O0 every binding points at the
+    /// variable's home slot, so this is the ground-truth shadow state
+    /// of source-variable values. Unresolvable bindings (e.g. a slot
+    /// offset past the frame) are skipped. Empty unless the VM was
+    /// configured with [`VmConfig::track_dbg_bindings`].
+    pub fn shadow_values(&self) -> Vec<(u32, i64)> {
+        let Some(frame) = self.frames.last() else {
+            return Vec::new();
+        };
+        frame
+            .dbg_bindings
+            .iter()
+            .filter_map(|(&var, &loc)| {
+                let v = match loc {
+                    FDbgLoc::Reg(r) => self.regs.get(r as usize).copied()?,
+                    FDbgLoc::Slot(off) => {
+                        self.stack.get(frame.frame_base + off as usize).copied()?
+                    }
+                    FDbgLoc::Const(c) => c,
+                    FDbgLoc::Undef => return None,
+                };
+                Some((var, v))
+            })
+            .collect()
+    }
+
     /// Consumes the VM, producing the final [`ExecResult`].
     pub fn into_result(self) -> ExecResult {
         let halt = self.halted.unwrap_or(Halt::StepLimit);
@@ -299,7 +338,19 @@ impl<'a> Vm<'a> {
         let mut new_load_def: Option<u8> = None;
 
         match &inst.op {
-            FOp::Dbg { .. } => {
+            FOp::Dbg { var, loc } => {
+                if self.config.track_dbg_bindings {
+                    if let Some(frame) = self.frames.last_mut() {
+                        match loc {
+                            FDbgLoc::Undef => {
+                                frame.dbg_bindings.remove(var);
+                            }
+                            _ => {
+                                frame.dbg_bindings.insert(*var, *loc);
+                            }
+                        }
+                    }
+                }
                 // Zero-size pseudo: no cycles, keep hazard state.
                 self.pc = next_pc;
                 self.steps -= 1; // pseudos do not count against budgets
@@ -431,6 +482,7 @@ impl<'a> Vm<'a> {
                     frame_base,
                     saved_args: self.args,
                     func: *func,
+                    dbg_bindings: BTreeMap::new(),
                 });
                 self.current_func = *func;
                 next_pc = info.start_index as usize;
@@ -722,6 +774,68 @@ mod tests {
         let b = Vm::run_to_completion(&obj, "f", &[50], &[1, 2, 3], VmConfig::default()).unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.ret, b.ret);
+    }
+
+    #[test]
+    fn shadow_values_track_source_variables_at_o0() {
+        let src = "int f() { int x = 7; int y = x * 6; out(y); return y; }";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let config = VmConfig {
+            track_dbg_bindings: true,
+            ..VmConfig::default()
+        };
+        let mut vm = Vm::new(&obj, "f", &[], &[], config).unwrap();
+        while vm.output.is_empty() && vm.halt_reason().is_none() {
+            vm.step();
+        }
+        let shadow = vm.shadow_values();
+        let values: Vec<i64> = shadow.iter().map(|&(_, v)| v).collect();
+        assert!(values.contains(&7), "x=7 missing from shadow: {shadow:?}");
+        assert!(values.contains(&42), "y=42 missing from shadow: {shadow:?}");
+        assert!(
+            shadow.windows(2).all(|w| w[0].0 < w[1].0),
+            "shadow values sorted by var index"
+        );
+    }
+
+    #[test]
+    fn shadow_values_empty_without_tracking() {
+        let src = "int f() { int x = 5; out(x); return x; }";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let mut vm = Vm::new(&obj, "f", &[], &[], VmConfig::default()).unwrap();
+        while vm.output.is_empty() && vm.halt_reason().is_none() {
+            vm.step();
+        }
+        assert!(vm.shadow_values().is_empty());
+    }
+
+    #[test]
+    fn shadow_bindings_are_per_frame() {
+        // The callee's bindings must not leak into the caller's frame.
+        let src = "int g(int a) { int t = a + 1; out(t); return t; }\n\
+                   int f() { int x = 10; int r = g(x); out(r); return r; }";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let config = VmConfig {
+            track_dbg_bindings: true,
+            ..VmConfig::default()
+        };
+        let mut vm = Vm::new(&obj, "f", &[], &[], config).unwrap();
+        // Run until g's out(t) fires: current frame is g's.
+        while vm.output.is_empty() && vm.halt_reason().is_none() {
+            vm.step();
+        }
+        let in_g: Vec<i64> = vm.shadow_values().iter().map(|&(_, v)| v).collect();
+        assert!(in_g.contains(&11), "t=11 missing in g: {in_g:?}");
+        // Run until f's out(r) fires: back in f's frame.
+        while vm.output.len() < 2 && vm.halt_reason().is_none() {
+            vm.step();
+        }
+        let in_f: Vec<i64> = vm.shadow_values().iter().map(|&(_, v)| v).collect();
+        assert!(in_f.contains(&10), "x=10 missing in f: {in_f:?}");
+        assert!(in_f.contains(&11), "r=11 missing in f: {in_f:?}");
     }
 
     #[test]

@@ -16,4 +16,10 @@ cargo build --release
 echo "== tier-1 verify: tests =="
 cargo test -q
 
+echo "== checker smoke (correctness oracle) =="
+cargo run --release --example checker_smoke
+
+echo "== build determinism =="
+cargo run --release --example det_check
+
 echo "CI green."

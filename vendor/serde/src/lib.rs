@@ -95,6 +95,18 @@ pub fn field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T
     }
 }
 
+/// Like [`field`], but a missing field yields `T::default()` — the
+/// behaviour of `#[serde(default)]` (derive support).
+pub fn field_or_default<T: Deserialize + Default>(
+    fields: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Primitive impls.
 

@@ -3,7 +3,8 @@
 //! trees (no syn/quote in this offline environment), supporting the
 //! shapes this workspace actually derives on: non-generic structs
 //! with named fields and non-generic enums with unit, tuple, and
-//! struct variants.
+//! struct variants. The only `#[serde(...)]` helper recognized is
+//! per-field `#[serde(default)]` (missing field → `Default::default`).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -11,12 +12,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Shape {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Enum {
         name: String,
         variants: Vec<Variant>,
     },
+}
+
+/// A named field and whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -27,17 +34,20 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     let body = match &shape {
         Shape::Struct { name, fields } => {
             let pushes: String = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
+                })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -73,10 +83,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         VariantKind::Struct(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let pushes: String = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
                                     )
@@ -103,15 +118,12 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     body.parse().expect("generated Serialize impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     let body = match &shape {
         Shape::Struct { name, fields } => {
-            let inits: String = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::field(fields, \"{f}\")?,"))
-                .collect();
+            let inits: String = fields.iter().map(field_init).collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
@@ -157,10 +169,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             ))
                         }
                         VariantKind::Struct(fields) => {
-                            let inits: String = fields
-                                .iter()
-                                .map(|f| format!("{f}: ::serde::field(fields, \"{f}\")?,"))
-                                .collect();
+                            let inits: String = fields.iter().map(field_init).collect();
                             Some(format!(
                                 "\"{vname}\" => {{\n\
                                      let fields = payload.as_object().ok_or_else(|| \
@@ -199,6 +208,16 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         }
     };
     body.parse().expect("generated Deserialize impl parses")
+}
+
+/// One struct-field initializer for the generated `from_value`.
+fn field_init(f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!("{name}: ::serde::field_or_default(fields, \"{name}\")?,")
+    } else {
+        format!("{name}: ::serde::field(fields, \"{name}\")?,")
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -244,9 +263,21 @@ fn parse_shape(input: TokenStream) -> Shape {
 
 /// Skips `#[...]` attributes and a `pub` / `pub(...)` visibility.
 fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    let mut ignored = false;
+    skip_attrs_and_vis_noting_default(tokens, i, &mut ignored);
+}
+
+/// Like [`skip_attrs_and_vis`], additionally setting `has_default`
+/// when one of the skipped attributes is `#[serde(default)]`.
+fn skip_attrs_and_vis_noting_default(tokens: &[TokenTree], i: &mut usize, has_default: &mut bool) {
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if is_serde_default(g) {
+                        *has_default = true;
+                    }
+                }
                 *i += 2; // `#` and the bracket group
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -262,13 +293,33 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Parses `name: Type, ...` lists, returning the field names.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Whether a `#[...]` bracket group is exactly `serde(default)`.
+fn is_serde_default(g: &proc_macro::Group) -> bool {
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match inner.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)]
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            matches!(args.as_slice(),
+                [TokenTree::Ident(arg)] if arg.to_string() == "default")
+        }
+        _ => false,
+    }
+}
+
+/// Parses `name: Type, ...` lists, returning the fields with their
+/// `#[serde(default)]` markers.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let mut default = false;
+        skip_attrs_and_vis_noting_default(&tokens, &mut i, &mut default);
         if i >= tokens.len() {
             break;
         }
@@ -276,7 +327,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             TokenTree::Ident(id) => id.to_string(),
             other => panic!("expected field name, found {other}"),
         };
-        fields.push(name);
+        fields.push(Field { name, default });
         i += 1;
         // Skip `:` and the type, up to the next top-level comma. Angle
         // brackets are tracked by depth (they are punctuation, not
