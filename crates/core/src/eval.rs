@@ -10,14 +10,22 @@
 //! paths produce bit-identical `ProgramEvaluation`s: workers write
 //! results into per-pass slots, so ordering and values never depend on
 //! scheduling.
+//!
+//! Compilation itself is staged: all variant builds of one
+//! program/personality/level go through a single checkpointed
+//! [`dt_passes::CompileSession`], so a variant disabling pass *p*
+//! resumes from the snapshot before *p*'s first occurrence instead of
+//! recompiling from source (bit-identical by construction — see
+//! `dt_passes::session`). Cross-config products (parsed analysis, the
+//! `O0` object, the single ground-truth baseline trace) live in the
+//! shared [`ArtifactStore`].
 
+use crate::artifacts::ArtifactStore;
 use crate::telemetry::Telemetry;
 use dt_checker::DefectSummary;
 use dt_metrics::Metrics;
 use dt_minic::analysis::SourceAnalysis;
-use dt_passes::{
-    compile_source, pipeline_pass_names, CompileOptions, OptLevel, PassGate, Personality,
-};
+use dt_passes::{pipeline_pass_names, OptLevel, PassGate, Personality};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -37,6 +45,9 @@ pub(crate) struct EvalCtx<'a> {
     pub threads: usize,
     pub telemetry: Option<&'a Telemetry>,
     pub trace_cache: Option<&'a TraceCache>,
+    /// Shared program-artifact + compile-session store. `None` makes
+    /// the evaluation build a transient store (no cross-call sharing).
+    pub artifacts: Option<&'a ArtifactStore>,
 }
 
 impl EvalCtx<'_> {
@@ -45,6 +56,7 @@ impl EvalCtx<'_> {
             threads: 1,
             telemetry: None,
             trace_cache: None,
+            artifacts: None,
         }
     }
 
@@ -186,6 +198,7 @@ pub fn evaluate_program_parallel(
         threads,
         telemetry: None,
         trace_cache: None,
+        artifacts: None,
     };
     evaluate_program_ctx(program, personality, level, max_steps, &ctx)
 }
@@ -201,50 +214,48 @@ pub(crate) fn evaluate_program_ctx(
 ) -> ProgramEvaluation {
     let wall_start = Instant::now();
     ctx.with_telemetry(|t| t.record_program());
-    let parsed = dt_minic::compile_check(&program.source).expect("program is valid");
-    let analysis = SourceAnalysis::of(&parsed);
+    let transient_store;
+    let store = match ctx.artifacts {
+        Some(s) => s,
+        None => {
+            transient_store = ArtifactStore::new();
+            &transient_store
+        }
+    };
 
-    // Stage 1: builds.
-    let build_start = Instant::now();
-    let o0 = compile_source(
-        &program.source,
-        &CompileOptions::new(personality, OptLevel::O0),
-    )
-    .expect("O0 build");
-    ctx.with_telemetry(|t| t.record_build(build_start.elapsed()));
-    let build_start = Instant::now();
-    let reference_obj = compile_source(&program.source, &CompileOptions::new(personality, level))
-        .expect("reference build");
-    ctx.with_telemetry(|t| t.record_build(build_start.elapsed()));
-
-    // Stage 2+3: baseline and reference traces (source-refined by the
-    // hybrid metric itself). The baseline session records ground-truth
-    // values from the VM's shadow state so the correctness oracle can
+    // Stage 1: shared artifacts (parsed analysis, O0 object, the
+    // single ground-truth baseline trace — reused across
+    // personalities, levels, and configs) plus this level's
+    // checkpointed compile session, from which the reference build
+    // reuses the fully optimized module. The ground-truth baseline
+    // records shadow values from the VM so the correctness oracle can
     // diff variant traces against source semantics; variable
     // *visibility* stays loclist-based, so the availability metrics
     // are untouched.
-    let session = dt_debugger::SessionConfig {
-        max_steps_per_input: max_steps,
-        entry_args: program.entry_args.clone(),
-        ground_truth: true,
-    };
-    let trace_start = Instant::now();
-    let base_trace = dt_debugger::trace(&o0, &program.harness, &program.inputs, &session)
-        .expect("baseline session");
-    ctx.with_telemetry(|t| t.record_trace(trace_start.elapsed()));
+    let art = store.program_artifacts(program, max_steps, ctx.telemetry);
+    let analysis = &art.analysis;
+    let o0 = &art.o0;
+    let base_trace = &art.base_trace;
+    let session = store.session_for(&program.name, &art, personality, level, ctx.telemetry);
+    let build_start = Instant::now();
+    let reference_obj = session.reference_object();
+    ctx.with_telemetry(|t| t.record_build(build_start.elapsed()));
+
+    // Stage 2+3: reference trace and metrics (source-refined by the
+    // hybrid metric itself).
     let trace_start = Instant::now();
     let (reference, ref_trace) = metrics_for(
         &reference_obj,
         &program.harness,
         &program.inputs,
         &program.entry_args,
-        &base_trace,
-        &analysis,
+        base_trace,
+        analysis,
         max_steps,
     );
     ctx.with_telemetry(|t| t.record_trace(trace_start.elapsed()));
-    let methods = dt_metrics::all_methods(&reference_obj.debug, &ref_trace, &base_trace, &analysis);
-    let reference_defects = dt_checker::check(&ref_trace, &base_trace, &analysis).summary;
+    let methods = dt_metrics::all_methods(&reference_obj.debug, &ref_trace, base_trace, analysis);
+    let reference_defects = dt_checker::check(&ref_trace, base_trace, analysis).summary;
 
     // Stage 4: one variant per gateable pass, with `.text` pruning and
     // content-addressed sharing of trace/metric work. Each pass gets a
@@ -253,11 +264,13 @@ pub(crate) fn evaluate_program_ctx(
     let passes = pipeline_pass_names(personality, level);
     let cache_scope = format!("{}|{personality}|{level}", program.name);
     let variant_effect = |pass: &str| -> PassEffect {
-        let mut opts = CompileOptions::new(personality, level);
-        opts.gate = PassGate::disabling([pass]);
         let build_start = Instant::now();
-        let variant = compile_source(&program.source, &opts).expect("variant build");
-        ctx.with_telemetry(|t| t.record_build(build_start.elapsed()));
+        let built = session.build_variant(&PassGate::disabling([pass]));
+        ctx.with_telemetry(|t| {
+            t.record_build(build_start.elapsed());
+            t.record_variant_resume(built.prefix_skipped as u64);
+        });
+        let variant = built.object;
         if variant.text_eq(&reference_obj) {
             ctx.with_telemetry(|t| t.record_pruned_variant());
             return PassEffect {
@@ -285,11 +298,11 @@ pub(crate) fn evaluate_program_ctx(
                 &program.harness,
                 &program.inputs,
                 &program.entry_args,
-                &base_trace,
-                &analysis,
+                base_trace,
+                analysis,
                 max_steps,
             );
-            let defects = dt_checker::check(&variant_trace, &base_trace, &analysis).summary;
+            let defects = dt_checker::check(&variant_trace, base_trace, analysis).summary;
             ctx.with_telemetry(|t| t.record_trace(trace_start.elapsed()));
             if let Some(k) = cache_key {
                 ctx.trace_cache.unwrap().lock().insert(k, (m, defects));
@@ -351,6 +364,11 @@ pub(crate) fn evaluate_program_ctx(
 
 /// Evaluates one explicit configuration (level + gate) for a program,
 /// returning the hybrid metrics (used for `Ox-dy` measurements).
+///
+/// Builds through a transient [`ArtifactStore`]; prefer
+/// [`crate::DebugTuner::evaluate_config`] when measuring several
+/// configurations of the same program, which shares the baseline
+/// artifacts and the checkpointed compile session across calls.
 pub fn evaluate_config(
     program: &ProgramInput,
     personality: Personality,
@@ -358,32 +376,44 @@ pub fn evaluate_config(
     gate: &PassGate,
     max_steps: u64,
 ) -> Metrics {
-    let parsed = dt_minic::compile_check(&program.source).expect("program is valid");
-    let analysis = SourceAnalysis::of(&parsed);
-    let o0 = compile_source(
-        &program.source,
-        &CompileOptions::new(personality, OptLevel::O0),
-    )
-    .expect("O0 build");
-    let session = dt_debugger::SessionConfig {
-        max_steps_per_input: max_steps,
-        entry_args: program.entry_args.clone(),
-        ground_truth: false,
-    };
-    let base_trace = dt_debugger::trace(&o0, &program.harness, &program.inputs, &session)
-        .expect("baseline session");
-    let mut opts = CompileOptions::new(personality, level);
-    opts.gate = gate.clone();
-    let obj = compile_source(&program.source, &opts).expect("config build");
+    let store = ArtifactStore::new();
+    evaluate_config_with(&store, program, personality, level, gate, max_steps, None)
+}
+
+/// [`evaluate_config`] against an explicit shared store: the program's
+/// artifacts (analysis + `O0` + the single ground-truth baseline
+/// trace) and the personality/level compile session are reused across
+/// calls, and the gated build resumes from a mid-pipeline checkpoint.
+pub(crate) fn evaluate_config_with(
+    store: &ArtifactStore,
+    program: &ProgramInput,
+    personality: Personality,
+    level: OptLevel,
+    gate: &PassGate,
+    max_steps: u64,
+    telemetry: Option<&Telemetry>,
+) -> Metrics {
+    let art = store.program_artifacts(program, max_steps, telemetry);
+    let session = store.session_for(&program.name, &art, personality, level, telemetry);
+    let build_start = Instant::now();
+    let built = session.build_variant(gate);
+    if let Some(t) = telemetry {
+        t.record_build(build_start.elapsed());
+        t.record_variant_resume(built.prefix_skipped as u64);
+    }
+    let trace_start = Instant::now();
     let (m, _) = metrics_for(
-        &obj,
+        &built.object,
         &program.harness,
         &program.inputs,
         &program.entry_args,
-        &base_trace,
-        &analysis,
+        &art.base_trace,
+        &art.analysis,
         max_steps,
     );
+    if let Some(t) = telemetry {
+        t.record_trace(trace_start.elapsed());
+    }
     m
 }
 

@@ -31,6 +31,7 @@
 //! }
 //! ```
 
+pub mod artifacts;
 pub mod config;
 pub mod eval;
 pub mod pareto;
@@ -38,6 +39,7 @@ pub mod perf;
 pub mod rank;
 pub mod telemetry;
 
+pub use artifacts::ArtifactStore;
 pub use config::{dy_config, dy_family, DyConfig};
 pub use eval::{
     evaluate_program, evaluate_program_parallel, PassEffect, ProgramEvaluation, ProgramInput,
@@ -47,7 +49,7 @@ pub use perf::{measure_speedup, PerfReport};
 pub use rank::{rank_passes_across, PassRanking, RankEntry};
 pub use telemetry::{EvalStats, Telemetry};
 
-use dt_passes::{OptLevel, Personality};
+use dt_passes::{OptLevel, PassGate, Personality};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -79,6 +81,10 @@ pub struct DebugTuner {
     pub config: TunerConfig,
     cache: Mutex<HashMap<String, ProgramEvaluation>>,
     trace_cache: eval::TraceCache,
+    /// Shared per-program artifacts (analysis, `O0`, the ground-truth
+    /// baseline trace) and checkpointed compile sessions, reused across
+    /// every evaluation and configuration measurement of this tuner.
+    artifacts: ArtifactStore,
     telemetry: Telemetry,
 }
 
@@ -89,6 +95,7 @@ impl DebugTuner {
             config,
             cache: Mutex::new(HashMap::new()),
             trace_cache: Mutex::new(HashMap::new()),
+            artifacts: ArtifactStore::new(),
             telemetry: Telemetry::default(),
         }
     }
@@ -132,6 +139,7 @@ impl DebugTuner {
             threads,
             telemetry: Some(&self.telemetry),
             trace_cache: Some(&self.trace_cache),
+            artifacts: Some(&self.artifacts),
         };
         let eval = eval::evaluate_program_ctx(
             program,
@@ -142,6 +150,30 @@ impl DebugTuner {
         );
         self.cache.lock().insert(key, eval.clone());
         eval
+    }
+
+    /// Evaluates one explicit configuration (level + gate) of a program
+    /// through the tuner's shared artifact store: the baseline trace,
+    /// `O0` object, and checkpointed compile session are reused across
+    /// calls (and with [`DebugTuner::evaluate`] runs of the same
+    /// program), and the gated build resumes from a mid-pipeline
+    /// snapshot instead of recompiling from source.
+    pub fn evaluate_config(
+        &self,
+        program: &ProgramInput,
+        personality: Personality,
+        level: OptLevel,
+        gate: &PassGate,
+    ) -> dt_metrics::Metrics {
+        eval::evaluate_config_with(
+            &self.artifacts,
+            program,
+            personality,
+            level,
+            gate,
+            self.config.max_steps_per_input,
+            Some(&self.telemetry),
+        )
     }
 
     /// Evaluates the whole suite in parallel and aggregates the pass
@@ -245,6 +277,33 @@ int fuzz_main() {
         let a = tuner.evaluate(&p, Personality::Gcc, OptLevel::O1);
         let b = tuner.evaluate(&p, Personality::Gcc, OptLevel::O1);
         assert_eq!(a.reference.product, b.reference.product);
+    }
+
+    /// The staged-session acceptance criteria: evaluation resumes
+    /// variant builds from checkpoints (prefix passes skipped > 0),
+    /// shares program artifacts across levels, and the tuner's
+    /// `evaluate_config` agrees exactly with the fan-out's reference.
+    #[test]
+    fn evaluation_resumes_variants_and_shares_artifacts() {
+        let tuner = DebugTuner::default();
+        let p = tiny_program();
+        let eval = tuner.evaluate(&p, Personality::Gcc, OptLevel::O2);
+        let stats = tuner.stats();
+        assert!(stats.sessions >= 1, "no session built: {stats:?}");
+        assert!(stats.snapshots > 0);
+        assert!(stats.resumed_variants > 0);
+        assert!(
+            stats.prefix_passes_skipped > 0,
+            "checkpoint resume never skipped work: {stats:?}"
+        );
+        // A second level of the same program hits the artifact store
+        // (one O0 build + one ground-truth baseline per program).
+        tuner.evaluate(&p, Personality::Gcc, OptLevel::O1);
+        assert!(tuner.stats().artifact_hits >= 1);
+        // The explicit-config path shares the same session + baseline,
+        // so an empty gate reproduces the reference metrics exactly.
+        let m = tuner.evaluate_config(&p, Personality::Gcc, OptLevel::O2, &PassGate::allow_all());
+        assert_eq!(m.product, eval.reference.product);
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub struct Telemetry {
     trace_cache_hits: AtomicU64,
     eval_cache_hits: AtomicU64,
     pruned_variants: AtomicU64,
+    sessions: AtomicU64,
+    snapshots: AtomicU64,
+    resumed_variants: AtomicU64,
+    prefix_passes_skipped: AtomicU64,
+    artifact_hits: AtomicU64,
     build_nanos: AtomicU64,
     trace_nanos: AtomicU64,
     rank_nanos: AtomicU64,
@@ -55,6 +60,30 @@ impl Telemetry {
         self.pruned_variants.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A compile session was constructed, retaining `snapshots`
+    /// mid-pipeline module checkpoints.
+    pub fn record_session(&self, snapshots: u64) {
+        self.sessions.fetch_add(1, Ordering::Relaxed);
+        self.snapshots.fetch_add(snapshots, Ordering::Relaxed);
+    }
+
+    /// A variant build resumed from a session checkpoint (or reused
+    /// the optimized module outright), skipping `prefix_skipped`
+    /// mid-pipeline stages.
+    pub fn record_variant_resume(&self, prefix_skipped: u64) {
+        if prefix_skipped > 0 {
+            self.resumed_variants.fetch_add(1, Ordering::Relaxed);
+            self.prefix_passes_skipped
+                .fetch_add(prefix_skipped, Ordering::Relaxed);
+        }
+    }
+
+    /// A program's artifacts (analysis, O0 object, baseline trace)
+    /// were served from the shared artifact store.
+    pub fn record_artifact_hit(&self) {
+        self.artifact_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn record_rank(&self, elapsed: Duration) {
         self.rank_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
@@ -78,6 +107,11 @@ impl Telemetry {
             trace_cache_hits: self.trace_cache_hits.load(Ordering::Relaxed),
             eval_cache_hits: self.eval_cache_hits.load(Ordering::Relaxed),
             pruned_variants: self.pruned_variants.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            resumed_variants: self.resumed_variants.load(Ordering::Relaxed),
+            prefix_passes_skipped: self.prefix_passes_skipped.load(Ordering::Relaxed),
+            artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
             build_ms: ms(&self.build_nanos),
             trace_ms: ms(&self.trace_nanos),
             rank_ms: ms(&self.rank_nanos),
@@ -93,6 +127,11 @@ impl Telemetry {
             &self.trace_cache_hits,
             &self.eval_cache_hits,
             &self.pruned_variants,
+            &self.sessions,
+            &self.snapshots,
+            &self.resumed_variants,
+            &self.prefix_passes_skipped,
+            &self.artifact_hits,
             &self.build_nanos,
             &self.trace_nanos,
             &self.rank_nanos,
@@ -125,6 +164,24 @@ pub struct EvalStats {
     pub eval_cache_hits: u64,
     /// Variants discarded by the `.text` equality pruning.
     pub pruned_variants: u64,
+    /// Checkpointed compile sessions constructed (one per
+    /// program/personality/level actually built).
+    #[serde(default)]
+    pub sessions: u64,
+    /// Mid-pipeline module snapshots retained across all sessions.
+    #[serde(default)]
+    pub snapshots: u64,
+    /// Variant builds that resumed from a session checkpoint instead
+    /// of recompiling from source.
+    #[serde(default)]
+    pub resumed_variants: u64,
+    /// Total mid-pipeline pass instances skipped by checkpoint resume.
+    #[serde(default)]
+    pub prefix_passes_skipped: u64,
+    /// Program-artifact store hits (parsed analysis + O0 object +
+    /// ground-truth baseline trace reused instead of rebuilt).
+    #[serde(default)]
+    pub artifact_hits: u64,
     /// Wall-clock spent compiling, summed across workers.
     pub build_ms: f64,
     /// Wall-clock spent in debug-trace sessions + metric computation,
@@ -142,7 +199,8 @@ impl EvalStats {
         format!(
             "eval stats: {} program(s), {} build(s) ({:.0} ms), {} trace(s) ({:.0} ms), \
              {} trace-cache hit(s), {} eval-cache hit(s), {} pruned variant(s), \
-             {:.0} ms wall on {} thread(s)",
+             {} session(s) ({} snapshot(s)), {} resumed variant(s) skipping {} prefix pass(es), \
+             {} artifact-store hit(s), {:.0} ms wall on {} thread(s)",
             self.programs,
             self.builds,
             self.build_ms,
@@ -151,6 +209,11 @@ impl EvalStats {
             self.trace_cache_hits,
             self.eval_cache_hits,
             self.pruned_variants,
+            self.sessions,
+            self.snapshots,
+            self.resumed_variants,
+            self.prefix_passes_skipped,
+            self.artifact_hits,
             self.wall_ms,
             self.threads
         )
@@ -185,6 +248,41 @@ mod tests {
         assert!(s.build_ms >= 5.0 - 1e-9);
         t.reset();
         assert_eq!(t.snapshot(4).builds, 0);
+    }
+
+    #[test]
+    fn session_counters_accumulate() {
+        let t = Telemetry::default();
+        t.record_session(12);
+        t.record_session(3);
+        t.record_variant_resume(7);
+        t.record_variant_resume(0); // no resume: must not count
+        t.record_artifact_hit();
+        let s = t.snapshot(1);
+        assert_eq!(s.sessions, 2);
+        assert_eq!(s.snapshots, 15);
+        assert_eq!(s.resumed_variants, 1);
+        assert_eq!(s.prefix_passes_skipped, 7);
+        assert_eq!(s.artifact_hits, 1);
+        assert!(s.summary().contains("2 session(s)"));
+        assert!(s.summary().contains("skipping 7 prefix pass(es)"));
+        t.reset();
+        assert_eq!(t.snapshot(1).prefix_passes_skipped, 0);
+        assert_eq!(t.snapshot(1).sessions, 0);
+    }
+
+    #[test]
+    fn stats_json_without_session_fields_still_deserializes() {
+        // PR1/PR2-era EvalStats JSON has no session counters; the new
+        // fields must default to zero instead of failing.
+        let old = r#"{"threads":2,"programs":1,"builds":3,"traces":2,
+            "trace_cache_hits":0,"eval_cache_hits":0,"pruned_variants":1,
+            "build_ms":1.0,"trace_ms":2.0,"rank_ms":0.0,"wall_ms":3.0}"#;
+        let s: EvalStats = serde_json::from_str(old).unwrap();
+        assert_eq!(s.builds, 3);
+        assert_eq!(s.sessions, 0);
+        assert_eq!(s.prefix_passes_skipped, 0);
+        assert_eq!(s.artifact_hits, 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use dt_machine::Object;
 use dt_vm::{CoverageMap, Vm, VmConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 
 /// Fuzzing campaign configuration.
 #[derive(Debug, Clone)]
@@ -90,27 +91,37 @@ pub fn fuzz_with_oracle<F: FnMut(&[u8]) -> bool>(
 ) -> FuzzReport {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut global = CoverageMap::new(obj.code.len() * 2 + obj.funcs.len());
+    // Discovery-order vectors plus set mirrors: membership tests run
+    // once per execution, so `Vec::contains` would make the campaign
+    // quadratic in queue length.
     let mut queue: Vec<Vec<u8>> = Vec::new();
+    let mut queue_set: HashSet<Vec<u8>> = HashSet::new();
     let mut oracle_hits: Vec<Vec<u8>> = Vec::new();
+    let mut hit_set: HashSet<Vec<u8>> = HashSet::new();
 
     let mut try_input = |input: Vec<u8>,
                          queue: &mut Vec<Vec<u8>>,
+                         queue_set: &mut HashSet<Vec<u8>>,
                          oracle_hits: &mut Vec<Vec<u8>>,
+                         hit_set: &mut HashSet<Vec<u8>>,
                          global: &mut CoverageMap|
      -> bool {
         let Some(cov) = run_with_coverage(obj, entry, &input, config.max_steps, &config.entry_args)
         else {
             return false;
         };
-        let flagged = oracle(&input) && !oracle_hits.contains(&input);
+        let flagged = oracle(&input) && !hit_set.contains(&input);
         if flagged {
             oracle_hits.push(input.clone());
+            hit_set.insert(input.clone());
         }
         if cov.adds_to(global) {
             global.merge(&cov);
+            queue_set.insert(input.clone());
             queue.push(input);
             true
-        } else if flagged && !queue.contains(&input) {
+        } else if flagged && !queue_set.contains(&input) {
+            queue_set.insert(input.clone());
             queue.push(input);
             true
         } else {
@@ -123,15 +134,31 @@ pub fn fuzz_with_oracle<F: FnMut(&[u8]) -> bool>(
     let mut executions = 0u32;
     for (i, s) in seeds.iter().enumerate() {
         executions += 1;
-        let added = try_input(s.clone(), &mut queue, &mut oracle_hits, &mut global);
+        let added = try_input(
+            s.clone(),
+            &mut queue,
+            &mut queue_set,
+            &mut oracle_hits,
+            &mut hit_set,
+            &mut global,
+        );
         if i == 0 && !added && queue.is_empty() {
+            queue_set.insert(s.clone());
             queue.push(s.clone());
         }
     }
     if queue.is_empty() {
         executions += 1;
-        try_input(vec![0u8; 4], &mut queue, &mut oracle_hits, &mut global);
+        try_input(
+            vec![0u8; 4],
+            &mut queue,
+            &mut queue_set,
+            &mut oracle_hits,
+            &mut hit_set,
+            &mut global,
+        );
         if queue.is_empty() {
+            queue_set.insert(vec![0u8; 4]);
             queue.push(vec![0u8; 4]);
         }
     }
@@ -140,7 +167,14 @@ pub fn fuzz_with_oracle<F: FnMut(&[u8]) -> bool>(
         executions += 1;
         let parent = &queue[rng.gen_range(0..queue.len())];
         let child = mutate(parent, &queue, config.max_len, &mut rng);
-        try_input(child, &mut queue, &mut oracle_hits, &mut global);
+        try_input(
+            child,
+            &mut queue,
+            &mut queue_set,
+            &mut oracle_hits,
+            &mut hit_set,
+            &mut global,
+        );
     }
 
     FuzzReport {

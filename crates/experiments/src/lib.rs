@@ -437,14 +437,9 @@ pub fn tradeoff_data(
             let products: Vec<f64> = programs
                 .iter()
                 .map(|p| {
-                    debugtuner::eval::evaluate_config(
-                        p,
-                        personality,
-                        level,
-                        &cfg.gate,
-                        tuner.config.max_steps_per_input,
-                    )
-                    .product
+                    tuner
+                        .evaluate_config(p, personality, level, &cfg.gate)
+                        .product
                 })
                 .collect();
             let perf = measure_speedup(personality, level, &cfg.gate, workload);
@@ -849,27 +844,37 @@ pub fn table16_correctness() -> String {
     // headline "more optimization, more lies" series).
     let mut per_level: Vec<(OptLevel, u32)> = Vec::new();
     for personality in [Personality::Gcc, Personality::Clang] {
-        for &level in OptLevel::levels_for(personality) {
-            let mut sum = dt_checker::DefectSummary::default();
-            let options = dt_passes::CompileOptions::new(personality, level);
-            for p in &programs {
-                let r = dt_checker::check_compiled(
-                    &p.source,
-                    &p.harness,
-                    &p.inputs,
-                    &p.entry_args,
-                    &options,
-                    3_000_000,
-                )
-                .unwrap_or_else(|e| panic!("checker failed on {}: {e}", p.name));
+        // One oracle per program shares the parsed analysis, the O0
+        // ground-truth build, and the memoized baseline trace across
+        // every level of this personality; sums are accumulated per
+        // level and emitted in the table's level order below.
+        let levels = OptLevel::levels_for(personality);
+        let mut sums: Vec<dt_checker::DefectSummary> =
+            vec![dt_checker::DefectSummary::default(); levels.len()];
+        for p in &programs {
+            let mut oracle = dt_checker::Oracle::new(&p.source, personality)
+                .unwrap_or_else(|e| panic!("oracle build failed on {}: {e}", p.name));
+            for (i, &level) in levels.iter().enumerate() {
+                let r = oracle
+                    .check_gate(
+                        &p.harness,
+                        &p.inputs,
+                        &p.entry_args,
+                        level,
+                        &PassGate::allow_all(),
+                        3_000_000,
+                    )
+                    .unwrap_or_else(|e| panic!("checker failed on {}: {e}", p.name));
                 let s = r.summary;
-                sum.wrong += s.wrong;
-                sum.stale += s.stale;
-                sum.phantom += s.phantom;
-                sum.misplaced += s.misplaced;
-                sum.lines_checked += s.lines_checked;
-                sum.values_checked += s.values_checked;
+                sums[i].wrong += s.wrong;
+                sums[i].stale += s.stale;
+                sums[i].phantom += s.phantom;
+                sums[i].misplaced += s.misplaced;
+                sums[i].lines_checked += s.lines_checked;
+                sums[i].values_checked += s.values_checked;
             }
+        }
+        for (&level, sum) in levels.iter().zip(&sums) {
             let _ = writeln!(
                 out,
                 "{:<9} {:<5} | {:>6} {:>6} {:>8} {:>10} {:>6} | {:>8} {:>8} {:>8.4}",

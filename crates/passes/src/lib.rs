@@ -21,13 +21,21 @@
 //!
 //! [`compile`] runs the full pipeline (middle end, then the `dt-machine`
 //! backend with its own gated passes) and returns the assembled object.
+//! Both it and the checkpointed [`session::CompileSession`] (which
+//! amortizes variant matrices by resuming from mid-pipeline snapshots)
+//! execute stages through the same engine, so one-shot and
+//! session-resumed builds are bit-identical.
 
 pub mod manager;
 pub mod opt;
 pub mod pipeline;
+pub mod session;
 
 pub use manager::{PassConfig, PassGate, PassInstance};
 pub use pipeline::{backend_pass_names, pipeline_pass_names, Personality, Pipeline};
+pub use session::{
+    module_fingerprint, CompileSession, SessionStats, SnapshotRetention, VariantBuild,
+};
 
 use dt_ir::{Module, Profile};
 use dt_machine::Object;

@@ -177,15 +177,24 @@ pub fn run_pipeline(
         if !gate.allows(inst) {
             continue;
         }
-        inst.pass.run(module, config);
-        cleanup(module);
-        debug_assert_eq!(
-            dt_ir::verify_module(module).err(),
-            None,
-            "after {}",
-            inst.name
-        );
+        run_stage(module, inst, config);
     }
+}
+
+/// Executes one pipeline stage: the pass, inter-pass hygiene, and the
+/// module invariant check. The single stage-execution primitive shared
+/// by [`run_pipeline`] and the checkpointed
+/// [`crate::session::CompileSession`], so from-scratch and resumed
+/// builds run bit-identical stage sequences.
+pub(crate) fn run_stage(module: &mut Module, inst: &PassInstance, config: &PassConfig) {
+    inst.pass.run(module, config);
+    cleanup(module);
+    debug_assert_eq!(
+        dt_ir::verify_module(module).err(),
+        None,
+        "after {}",
+        inst.name
+    );
 }
 
 /// Inter-pass hygiene: removes unreachable blocks so every pass sees a

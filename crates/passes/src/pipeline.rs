@@ -81,23 +81,28 @@ impl Pipeline {
     }
 
     /// All gateable pass names (middle-end + backend), deduplicated in
-    /// pipeline order — the universe DebugTuner iterates over.
+    /// pipeline order — the universe DebugTuner iterates over. Order
+    /// is first occurrence in the pipeline (middle end, then backend),
+    /// maintained with an order-preserving set so composition stays
+    /// linear in pipeline length.
     pub fn gateable_names(&self) -> Vec<&'static str> {
+        let mut seen: std::collections::HashSet<&'static str> = std::collections::HashSet::new();
         let mut names: Vec<&'static str> = Vec::new();
+        let mut push = |names: &mut Vec<&'static str>, name: &'static str| {
+            if seen.insert(name) {
+                names.push(name);
+            }
+        };
         for inst in &self.mid {
-            if inst.gateable && !names.contains(&inst.name) {
-                names.push(inst.name);
+            if inst.gateable {
+                push(&mut names, inst.name);
             }
             for g in inst.also_gated_by {
-                if !names.contains(g) {
-                    names.push(g);
-                }
+                push(&mut names, g);
             }
         }
         for (name, _) in &self.backend {
-            if !names.contains(name) {
-                names.push(name);
-            }
+            push(&mut names, name);
         }
         names
     }
@@ -561,6 +566,43 @@ int f(int n) {
                 assert_eq!(sorted.len(), names.len());
             }
         }
+    }
+
+    #[test]
+    fn gateable_names_are_in_pipeline_order() {
+        for personality in [Personality::Gcc, Personality::Clang] {
+            for &level in OptLevel::levels_for(personality) {
+                let pipeline = build(personality, level);
+                // Reference: the naive quadratic first-occurrence scan.
+                let mut expected: Vec<&'static str> = Vec::new();
+                for inst in &pipeline.mid {
+                    if inst.gateable && !expected.contains(&inst.name) {
+                        expected.push(inst.name);
+                    }
+                    for g in inst.also_gated_by {
+                        if !expected.contains(g) {
+                            expected.push(g);
+                        }
+                    }
+                }
+                for (name, _) in &pipeline.backend {
+                    if !expected.contains(name) {
+                        expected.push(name);
+                    }
+                }
+                assert_eq!(
+                    pipeline.gateable_names(),
+                    expected,
+                    "{personality} {level}: names must come out in pipeline order"
+                );
+            }
+        }
+        // Spot-check a known ordering: gcc O2 runs the inliner family
+        // before the loop passes, and backend toggles come last.
+        let names = build(Personality::Gcc, OptLevel::O2).gateable_names();
+        let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        assert!(pos("inline-fncs-called-once") < pos("tree-loop-optimize"));
+        assert!(pos("tree-loop-optimize") < pos("schedule-insns2"));
     }
 
     #[test]

@@ -56,7 +56,9 @@ fn main() {
     let tuned: Vec<f64> = programs
         .iter()
         .map(|p| {
-            debugtuner::eval::evaluate_config(p, personality, level, &cfg.gate, 3_000_000).product
+            tuner
+                .evaluate_config(p, personality, level, &cfg.gate)
+                .product
         })
         .collect();
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

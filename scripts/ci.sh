@@ -22,4 +22,7 @@ cargo run --release --example checker_smoke
 echo "== build determinism =="
 cargo run --release --example det_check
 
+echo "== staged-session equivalence =="
+cargo run --release --example session_check
+
 echo "CI green."

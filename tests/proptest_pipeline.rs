@@ -2,7 +2,10 @@
 //! behave identically across optimization levels, and the debug
 //! metrics must stay within their invariant bounds.
 
-use dt_passes::{compile_source, CompileOptions, OptLevel, Personality};
+use dt_passes::{
+    compile_source, pipeline_pass_names, CompileOptions, CompileSession, OptLevel, PassGate,
+    Personality,
+};
 use proptest::prelude::*;
 
 fn run(obj: &dt_machine::Object, input: &[u8]) -> (i64, Vec<i64>) {
@@ -79,6 +82,58 @@ proptest! {
         // Line coverage is identical between hybrid and dynamic by
         // construction.
         prop_assert!((e.methods.hybrid.line_coverage - e.methods.dynamic.line_coverage).abs() < 1e-12);
+    }
+
+    /// The staged-session correctness invariant: for random programs,
+    /// personality/level combinations, and random pass-gate subsets, a
+    /// checkpoint-resumed variant build is bit-identical
+    /// (`Object::content_hash`) to compiling from scratch with the
+    /// same options.
+    #[test]
+    fn session_variants_match_from_scratch(
+        seed in 0u64..300,
+        combo in 0usize..7,
+        mask in 0u64..u64::MAX,
+    ) {
+        let cfg = dt_testsuite::synth::SynthConfig::default();
+        let src = dt_testsuite::synth::generate(seed, &cfg);
+        let combos = [
+            (Personality::Gcc, OptLevel::Og),
+            (Personality::Gcc, OptLevel::O1),
+            (Personality::Gcc, OptLevel::O2),
+            (Personality::Gcc, OptLevel::O3),
+            (Personality::Clang, OptLevel::O1),
+            (Personality::Clang, OptLevel::O2),
+            (Personality::Clang, OptLevel::O3),
+        ];
+        let (personality, level) = combos[combo];
+        let names = pipeline_pass_names(personality, level);
+        let disabled: Vec<&str> = names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> (i % 64) & 1 == 1)
+            .map(|(_, &n)| n)
+            .collect();
+        let gate = PassGate::disabling(disabled.iter().copied());
+        let mut opts = CompileOptions::new(personality, level);
+        opts.gate = gate.clone();
+
+        let session = CompileSession::from_source(&src, personality, level, None).unwrap();
+        let scratch = compile_source(&src, &opts).unwrap();
+        let resumed = session.compile_variant(&gate);
+        prop_assert_eq!(
+            resumed.content_hash(),
+            scratch.content_hash(),
+            "seed {} {:?} {:?} gate {:?}",
+            seed, personality, level, disabled
+        );
+        let reference = compile_source(&src, &CompileOptions::new(personality, level)).unwrap();
+        prop_assert_eq!(
+            session.reference_object().content_hash(),
+            reference.content_hash(),
+            "seed {} {:?} {:?} reference",
+            seed, personality, level
+        );
     }
 
     /// The paper's ordering invariant (Section II-C): on the product
