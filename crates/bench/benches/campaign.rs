@@ -1,0 +1,134 @@
+//! Campaign-engine benchmarks on a synthetic job DAG: cold execution
+//! (cache evicted every iteration), warm reruns (every persisted
+//! output served from the content-addressed store), and cold runs with
+//! a single worker vs. the full worker pool. The gap between cold and
+//! warm is the engine's whole value proposition; the gap between the
+//! worker counts shows what the scheduler extracts from a DAG whose
+//! chains are independent until the final join.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dt_campaign::{Campaign, CampaignConfig, Fnv};
+
+/// Independent chains feeding one join — enough jobs for the
+/// scheduler to matter, cheap enough bodies that engine overhead and
+/// store traffic stay visible.
+const CHAINS: usize = 4;
+const DEPTH: usize = 3;
+
+/// A deterministic stand-in for real experiment work.
+fn busy(seed: u64) -> String {
+    let mut fnv = Fnv::new();
+    fnv.write_u64(seed);
+    for i in 0..20_000u64 {
+        fnv.write_u64(i);
+    }
+    format!("{:016x}", fnv.finish())
+}
+
+fn synthetic_campaign() -> Campaign {
+    let mut campaign = Campaign::new();
+    let mut heads = Vec::new();
+    for c in 0..CHAINS {
+        let mut prev: Option<String> = None;
+        for d in 0..DEPTH {
+            let id = format!("chain{c}_stage{d}");
+            let deps: Vec<&str> = prev.iter().map(|s| s.as_str()).collect();
+            let seed = (c * DEPTH + d) as u64;
+            campaign.output(&id, &deps, seed, move |_ctx| Ok(busy(seed)));
+            prev = Some(id);
+        }
+        heads.push(prev.unwrap());
+    }
+    let head_refs: Vec<&str> = heads.iter().map(|s| s.as_str()).collect();
+    campaign.output("join", &head_refs, 0, |ctx| {
+        let mut fnv = Fnv::new();
+        for head in &[
+            "chain0_stage2",
+            "chain1_stage2",
+            "chain2_stage2",
+            "chain3_stage2",
+        ] {
+            fnv.write_str(&ctx.text(head));
+        }
+        Ok(format!("{:016x}", fnv.finish()))
+    });
+    campaign
+}
+
+fn fresh_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dt-campaign-bench-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn config(dir: &std::path::Path, workers: usize, fresh: bool) -> CampaignConfig {
+    let mut config = CampaignConfig::for_results_dir(dir.to_path_buf());
+    config.workers = workers;
+    config.fresh = fresh;
+    config
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(20);
+
+    // Cold: evict the cache every iteration, every job body runs.
+    let cold_dir = fresh_dir();
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let run = dt_campaign::run(synthetic_campaign(), &config(&cold_dir, 0, true)).unwrap();
+            assert!(run.report.success());
+            run.report.jobs.len()
+        })
+    });
+
+    // Warm: prime once, then every rerun is pure fingerprint checks
+    // plus store reads.
+    let warm_dir = fresh_dir();
+    dt_campaign::run(synthetic_campaign(), &config(&warm_dir, 0, false)).unwrap();
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let run = dt_campaign::run(synthetic_campaign(), &config(&warm_dir, 0, false)).unwrap();
+            assert!(run.report.all_hits());
+            run.report.jobs.len()
+        })
+    });
+
+    // Scheduler scaling: the same cold DAG under one worker vs. the
+    // machine's full parallelism.
+    let serial_dir = fresh_dir();
+    group.bench_function("cold_jobs1", |b| {
+        b.iter(|| {
+            let run =
+                dt_campaign::run(synthetic_campaign(), &config(&serial_dir, 1, true)).unwrap();
+            assert!(run.report.success());
+            run.report.jobs.len()
+        })
+    });
+    let parallel_dir = fresh_dir();
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get());
+    group.bench_function("cold_parallel", |b| {
+        b.iter(|| {
+            let run = dt_campaign::run(synthetic_campaign(), &config(&parallel_dir, workers, true))
+                .unwrap();
+            assert!(run.report.success());
+            run.report.jobs.len()
+        })
+    });
+
+    group.finish();
+    for dir in [cold_dir, warm_dir, serial_dir, parallel_dir] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! CAMPAIGN ENGINE: persistent, resumable, parallel experiment
+//! orchestration.
+//!
+//! The paper's evidence is a large differential campaign — sixteen
+//! tables and three figures over thousands of
+//! program/personality/level/gate configurations — and that style of
+//! study only scales when the harness can run for days, survive
+//! crashes, and never redo finished work. This crate turns the
+//! experiment layer into a job-execution subsystem with the same shape
+//! as a training-stack scheduler over a persistent artifact cache:
+//!
+//! * **Declared jobs with explicit dependencies** ([`Campaign`]): an
+//!   *output* job produces a text artifact persisted under the results
+//!   directory; an *artifact* job produces an in-memory value (a
+//!   tuner, a program set, trade-off data) shared by its dependents.
+//! * **Content-addressed persistence** ([`store::Store`]): each output
+//!   job is keyed by an FNV-1a fingerprint of its inputs — scale
+//!   knobs, program-set hash, pass-library fingerprint, and the
+//!   fingerprints of its dependencies — so a warm rerun skips every
+//!   up-to-date job and an edit invalidates exactly the downstream
+//!   slice of the DAG.
+//! * **A worker pool** ([`run`]): a dependency-respecting ready queue
+//!   drained by `std::thread::scope` workers (count from `DT_JOBS` or
+//!   the available parallelism).
+//! * **First-class robustness**: job bodies run under `catch_unwind`
+//!   with bounded retries; a job that still fails poisons only its
+//!   dependents while the rest of the campaign completes; every
+//!   start/finish/hash is appended to a JSONL [`journal`], and all
+//!   file writes are temp-file + rename, so a killed campaign resumes
+//!   exactly where it stopped.
+//!
+//! ```no_run
+//! use dt_campaign::{run, Campaign, CampaignConfig};
+//!
+//! let mut c = Campaign::new();
+//! c.artifact("corpus", &[], 0, |_| Ok::<_, String>(vec![1u8, 2, 3]));
+//! c.output("report", &["corpus"], 0, |ctx| {
+//!     let corpus = ctx.value::<Vec<u8>>("corpus");
+//!     Ok(format!("{} inputs\n", corpus.len()))
+//! });
+//! let outcome = run(c, &CampaignConfig::for_results_dir("results")).unwrap();
+//! assert!(outcome.report.success());
+//! ```
+
+pub mod engine;
+pub mod fingerprint;
+pub mod job;
+pub mod journal;
+pub mod store;
+
+pub use engine::{
+    run, CampaignConfig, CampaignError, CampaignReport, CampaignRun, JobReport, JobStatus,
+};
+pub use fingerprint::Fnv;
+pub use job::{Campaign, Ctx, Product};
+pub use journal::{Journal, JournalRecord};
+pub use store::{write_atomic, Store};

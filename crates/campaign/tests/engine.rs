@@ -1,0 +1,411 @@
+//! Engine-level tests on synthetic DAGs: planning errors, cache
+//! warm/invalidation behavior, failure poisoning, bounded retries,
+//! demand pruning of ephemeral artifacts, crash-resume via fault
+//! injection, and the journal record stream.
+
+use dt_campaign::{run, Campaign, CampaignConfig, CampaignError, JobStatus, Journal};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dt-campaign-engine-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quiet_config(dir: &PathBuf) -> CampaignConfig {
+    let mut config = CampaignConfig::for_results_dir(dir);
+    config.workers = 2;
+    config
+}
+
+/// A counter that records how many times each job body actually ran.
+fn counter() -> Arc<AtomicUsize> {
+    Arc::new(AtomicUsize::new(0))
+}
+
+/// A diamond: base (ephemeral) -> left, right (outputs) -> join.
+fn diamond(
+    base_runs: Arc<AtomicUsize>,
+    left_runs: Arc<AtomicUsize>,
+    join_runs: Arc<AtomicUsize>,
+) -> Campaign {
+    let mut c = Campaign::new();
+    c.artifact("base", &[], 11, move |_| {
+        base_runs.fetch_add(1, Ordering::SeqCst);
+        Ok::<_, String>(21u64)
+    });
+    c.output("left", &["base"], 0, move |ctx| {
+        left_runs.fetch_add(1, Ordering::SeqCst);
+        Ok(format!("left of {}\n", ctx.value::<u64>("base")))
+    });
+    c.output("right", &["base"], 0, |ctx| {
+        Ok(format!("right of {}\n", ctx.value::<u64>("base")))
+    });
+    c.output("join", &["left", "right"], 0, move |ctx| {
+        join_runs.fetch_add(1, Ordering::SeqCst);
+        Ok(format!("{}{}", ctx.text("left"), ctx.text("right")))
+    });
+    c
+}
+
+#[test]
+fn cycle_detection_names_the_cycle() {
+    let mut c = Campaign::new();
+    c.output("a", &["b"], 0, |_| Ok(String::new()));
+    c.output("b", &["a"], 0, |_| Ok(String::new()));
+    c.output("free", &[], 0, |_| Ok(String::new()));
+    let dir = test_dir("cycle");
+    match run(c, &quiet_config(&dir)) {
+        Err(CampaignError::Cycle(mut jobs)) => {
+            jobs.sort();
+            assert_eq!(jobs, ["a", "b"]);
+        }
+        other => panic!("expected cycle error, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn unknown_dependency_is_an_error() {
+    let mut c = Campaign::new();
+    c.output("a", &["ghost"], 0, |_| Ok(String::new()));
+    let dir = test_dir("unknown-dep");
+    match run(c, &quiet_config(&dir)) {
+        Err(CampaignError::UnknownDep { job, dep }) => {
+            assert_eq!(job, "a");
+            assert_eq!(dep, "ghost");
+        }
+        other => panic!("expected unknown-dep error, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn unknown_target_is_an_error() {
+    let mut c = Campaign::new();
+    c.output("a", &[], 0, |_| Ok(String::new()));
+    let dir = test_dir("unknown-target");
+    let mut config = quiet_config(&dir);
+    config.only = vec!["nope".into()];
+    match run(c, &config) {
+        Err(CampaignError::UnknownTarget(t)) => assert_eq!(t, "nope"),
+        other => panic!("expected unknown-target error, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cold_run_executes_and_warm_run_hits_without_executing() {
+    let (base_runs, left_runs, join_runs) = (counter(), counter(), counter());
+    let dir = test_dir("warm");
+    let config = quiet_config(&dir);
+
+    let outcome = run(
+        diamond(base_runs.clone(), left_runs.clone(), join_runs.clone()),
+        &config,
+    )
+    .unwrap();
+    assert!(outcome.report.success());
+    assert_eq!(outcome.report.count(JobStatus::Ran), 4);
+    assert_eq!(base_runs.load(Ordering::SeqCst), 1);
+    let cold_join = std::fs::read_to_string(dir.join("join.txt")).unwrap();
+    assert_eq!(cold_join, "left of 21\nright of 21\n");
+
+    // Warm rerun: all outputs restored, zero bodies executed, files
+    // bit-identical.
+    let outcome = run(
+        diamond(base_runs.clone(), left_runs.clone(), join_runs.clone()),
+        &config,
+    )
+    .unwrap();
+    assert!(outcome.report.all_hits(), "{}", outcome.report.summary());
+    assert_eq!(outcome.report.count(JobStatus::Hit), 3);
+    assert_eq!(
+        outcome.report.job("base").unwrap().status,
+        JobStatus::Skipped,
+        "ephemeral artifact must be demand-pruned on a warm run"
+    );
+    assert_eq!(base_runs.load(Ordering::SeqCst), 1);
+    assert_eq!(left_runs.load(Ordering::SeqCst), 1);
+    assert_eq!(join_runs.load(Ordering::SeqCst), 1);
+    assert_eq!(
+        std::fs::read_to_string(dir.join("join.txt")).unwrap(),
+        cold_join
+    );
+
+    // --fresh evicts the cache: everything reruns.
+    let mut fresh = config.clone();
+    fresh.fresh = true;
+    let outcome = run(
+        diamond(base_runs.clone(), left_runs.clone(), join_runs.clone()),
+        &fresh,
+    )
+    .unwrap();
+    assert_eq!(outcome.report.count(JobStatus::Ran), 4);
+    assert_eq!(base_runs.load(Ordering::SeqCst), 2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn input_change_invalidates_exactly_the_downstream_slice() {
+    let dir = test_dir("invalidate");
+    let config = quiet_config(&dir);
+
+    let build = |left_hash: u64, left_runs: Arc<AtomicUsize>, join_runs: Arc<AtomicUsize>| {
+        let mut c = Campaign::new();
+        c.output("left", &[], left_hash, move |_| {
+            left_runs.fetch_add(1, Ordering::SeqCst);
+            Ok(format!("left#{left_hash}\n"))
+        });
+        c.output("right", &[], 7, |_| Ok("right\n".to_string()));
+        c.output("join", &["left", "right"], 0, move |ctx| {
+            join_runs.fetch_add(1, Ordering::SeqCst);
+            Ok(format!("{}{}", ctx.text("left"), ctx.text("right")))
+        });
+        c
+    };
+
+    let (l1, j1) = (counter(), counter());
+    run(build(1, l1.clone(), j1.clone()), &config).unwrap();
+    assert_eq!(l1.load(Ordering::SeqCst), 1);
+
+    // Changing left's inputs reruns left and join, but right hits.
+    let (l2, j2) = (counter(), counter());
+    let outcome = run(build(2, l2.clone(), j2.clone()), &config).unwrap();
+    assert_eq!(outcome.report.job("left").unwrap().status, JobStatus::Ran);
+    assert_eq!(outcome.report.job("join").unwrap().status, JobStatus::Ran);
+    assert_eq!(outcome.report.job("right").unwrap().status, JobStatus::Hit);
+    assert_eq!(
+        std::fs::read_to_string(dir.join("join.txt")).unwrap(),
+        "left#2\nright\n"
+    );
+
+    // Salt changes (pass-library fingerprint) invalidate everything.
+    let (l3, j3) = (counter(), counter());
+    let mut salted = config.clone();
+    salted.salt = 99;
+    let outcome = run(build(2, l3.clone(), j3.clone()), &salted).unwrap();
+    assert_eq!(outcome.report.count(JobStatus::Ran), 3);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn failure_poisons_only_dependents_and_retries_are_bounded() {
+    let attempts = counter();
+    let mut c = Campaign::new();
+    let attempts_in_job = attempts.clone();
+    c.output("flaky", &[], 0, move |_| {
+        attempts_in_job.fetch_add(1, Ordering::SeqCst);
+        Err::<String, _>("always fails".to_string())
+    });
+    c.output("victim", &["flaky"], 0, |ctx| {
+        Ok(ctx.text("flaky").to_string())
+    });
+    c.output("grand_victim", &["victim"], 0, |ctx| {
+        Ok(ctx.text("victim").to_string())
+    });
+    c.output("bystander", &[], 0, |_| Ok("fine\n".to_string()));
+
+    let dir = test_dir("poison");
+    let mut config = quiet_config(&dir);
+    config.retries = 2;
+    let outcome = run(c, &config).unwrap();
+    let report = &outcome.report;
+    assert!(!report.success());
+    assert_eq!(report.job("flaky").unwrap().status, JobStatus::Failed);
+    assert_eq!(report.job("flaky").unwrap().retries, 2);
+    assert_eq!(attempts.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
+    assert!(report
+        .job("flaky")
+        .unwrap()
+        .error
+        .as_deref()
+        .unwrap()
+        .contains("always fails"));
+    assert_eq!(report.job("victim").unwrap().status, JobStatus::Poisoned);
+    assert_eq!(
+        report.job("grand_victim").unwrap().status,
+        JobStatus::Poisoned
+    );
+    assert_eq!(
+        report.job("grand_victim").unwrap().poisoned_by.as_deref(),
+        Some("flaky")
+    );
+    assert_eq!(report.job("bystander").unwrap().status, JobStatus::Ran);
+    assert!(dir.join("bystander.txt").exists());
+    assert!(!dir.join("victim.txt").exists());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn panics_are_caught_and_reported_with_retry() {
+    let attempts = counter();
+    let mut c = Campaign::new();
+    let attempts_in_job = attempts.clone();
+    c.output("panicky", &[], 0, move |_| {
+        // First attempt panics, the retry succeeds.
+        if attempts_in_job.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("transient explosion");
+        }
+        Ok("recovered\n".to_string())
+    });
+    let dir = test_dir("panic");
+    let outcome = run(c, &quiet_config(&dir)).unwrap();
+    let job = outcome.report.job("panicky").unwrap();
+    assert_eq!(job.status, JobStatus::Ran);
+    assert_eq!(job.retries, 1);
+    assert_eq!(
+        std::fs::read_to_string(dir.join("panicky.txt")).unwrap(),
+        "recovered\n"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn only_selection_runs_the_dependency_closure_and_skips_the_rest() {
+    let (base_runs, left_runs, join_runs) = (counter(), counter(), counter());
+    let dir = test_dir("only");
+    let mut config = quiet_config(&dir);
+    config.only = vec!["left".to_string()];
+    let outcome = run(
+        diamond(base_runs.clone(), left_runs.clone(), join_runs.clone()),
+        &config,
+    )
+    .unwrap();
+    assert_eq!(outcome.report.job("base").unwrap().status, JobStatus::Ran);
+    assert_eq!(outcome.report.job("left").unwrap().status, JobStatus::Ran);
+    assert_eq!(
+        outcome.report.job("right").unwrap().status,
+        JobStatus::Skipped
+    );
+    assert_eq!(
+        outcome.report.job("join").unwrap().status,
+        JobStatus::Skipped
+    );
+    assert_eq!(join_runs.load(Ordering::SeqCst), 0);
+    assert!(dir.join("left.txt").exists());
+    assert!(!dir.join("join.txt").exists());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn crash_simulation_resumes_exactly_where_it_stopped() {
+    // A serial chain forces a deterministic execution prefix.
+    let build = |runs: [Arc<AtomicUsize>; 3]| {
+        let mut c = Campaign::new();
+        let [r0, r1, r2] = runs;
+        c.output("stage0", &[], 0, move |_| {
+            r0.fetch_add(1, Ordering::SeqCst);
+            Ok("s0\n".to_string())
+        });
+        c.output("stage1", &["stage0"], 0, move |ctx| {
+            r1.fetch_add(1, Ordering::SeqCst);
+            Ok(format!("{}s1\n", ctx.text("stage0")))
+        });
+        c.output("stage2", &["stage1"], 0, move |ctx| {
+            r2.fetch_add(1, Ordering::SeqCst);
+            Ok(format!("{}s2\n", ctx.text("stage1")))
+        });
+        c
+    };
+
+    let dir = test_dir("crash");
+    let mut config = quiet_config(&dir);
+    config.stop_after_jobs = Some(1);
+    let runs = [counter(), counter(), counter()];
+    let outcome = run(build(runs.clone()), &config).unwrap();
+    assert_eq!(outcome.report.job("stage0").unwrap().status, JobStatus::Ran);
+    assert_eq!(
+        outcome.report.job("stage1").unwrap().status,
+        JobStatus::Interrupted
+    );
+    assert_eq!(
+        outcome.report.job("stage2").unwrap().status,
+        JobStatus::Interrupted
+    );
+    assert!(!outcome.report.success());
+    assert!(!dir.join("stage2.txt").exists());
+
+    // Resume: the finished prefix hits, only the tail runs.
+    config.stop_after_jobs = None;
+    let outcome = run(build(runs.clone()), &config).unwrap();
+    assert!(outcome.report.success());
+    assert_eq!(outcome.report.job("stage0").unwrap().status, JobStatus::Hit);
+    assert_eq!(outcome.report.job("stage1").unwrap().status, JobStatus::Ran);
+    assert_eq!(outcome.report.job("stage2").unwrap().status, JobStatus::Ran);
+    let [r0, r1, r2] = runs;
+    assert_eq!(r0.load(Ordering::SeqCst), 1, "stage0 must not rerun");
+    assert_eq!(r1.load(Ordering::SeqCst), 1);
+    assert_eq!(r2.load(Ordering::SeqCst), 1);
+    assert_eq!(
+        std::fs::read_to_string(dir.join("stage2.txt")).unwrap(),
+        "s0\ns1\ns2\n"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn journal_records_hits_misses_and_failures() {
+    let dir = test_dir("journal");
+    let config = quiet_config(&dir);
+    let build = || {
+        let mut c = Campaign::new();
+        c.output("good", &[], 0, |_| Ok("ok\n".to_string()));
+        c.output("bad", &[], 0, |_| Err::<String, _>("nope".to_string()));
+        c
+    };
+    run(build(), &config).unwrap();
+    run(build(), &config).unwrap();
+
+    let records = Journal::read(dir.join(".cache/journal.jsonl")).unwrap();
+    let finishes = |job: &str, status: &str| {
+        records
+            .iter()
+            .filter(|r| r.kind == "job_finish" && r.job == job && r.status == status)
+            .count()
+    };
+    assert_eq!(finishes("good", "ran"), 1);
+    assert_eq!(finishes("good", "hit"), 1);
+    // `bad` fails in both runs (failures are never cached).
+    assert_eq!(finishes("bad", "failed"), 2);
+    let ran = records
+        .iter()
+        .find(|r| r.kind == "job_finish" && r.job == "good" && r.status == "ran")
+        .unwrap();
+    assert!(!ran.cache_hit);
+    assert!(!ran.fingerprint.is_empty());
+    let hit = records
+        .iter()
+        .find(|r| r.kind == "job_finish" && r.job == "good" && r.status == "hit")
+        .unwrap();
+    assert!(hit.cache_hit);
+    assert_eq!(hit.fingerprint, ran.fingerprint);
+    assert_eq!(
+        records
+            .iter()
+            .filter(|r| r.kind == "campaign_start")
+            .count(),
+        2
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn values_flow_and_are_accessible_after_the_run() {
+    let mut c = Campaign::new();
+    c.artifact("numbers", &[], 0, |_| Ok::<_, String>(vec![1u32, 2, 3]));
+    c.output("sum", &["numbers"], 0, |ctx| {
+        let numbers = ctx.value::<Vec<u32>>("numbers");
+        Ok(format!("{}\n", numbers.iter().sum::<u32>()))
+    });
+    let dir = test_dir("values");
+    let outcome = run(c, &quiet_config(&dir)).unwrap();
+    assert_eq!(
+        outcome.value::<Vec<u32>>("numbers").unwrap().as_slice(),
+        [1, 2, 3]
+    );
+    assert_eq!(outcome.text("sum").unwrap().as_str(), "6\n");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,58 +1,168 @@
-//! Regenerates every table and figure in one run, sharing the heavy
-//! intermediate artifacts (suite inputs, evaluations, trade-off data).
-fn main() {
+//! Runs the whole experiment suite as a persistent, resumable,
+//! parallel campaign (see `dt_campaign` and `experiments::campaign`).
+//!
+//! Every table/figure is a declared job with explicit dependencies; a
+//! worker pool executes the DAG, caching each output under
+//! `results/.cache/` keyed by a fingerprint of its inputs. A warm
+//! rerun with unchanged knobs executes zero job bodies; a killed run
+//! resumes where it stopped; a failing job poisons only its
+//! dependents and the exit status reports the partial failure.
+//!
+//! ```text
+//! all_experiments [--only JOB[,JOB...]] [--fresh] [--jobs N]
+//!                 [--results DIR] [--list] [--quiet]
+//! ```
+//!
+//! * `--only table05_gcc_passes` — run one job (and its dependency
+//!   closure); repeatable / comma-separable.
+//! * `--fresh` — evict the cache (objects + journal) first.
+//! * `--jobs N` — worker threads (default `DT_JOBS` or all cores).
+//! * `--results DIR` — output directory (default `DT_RESULTS_DIR` or
+//!   `results/`).
+//! * `--list` — print the DAG (job, kind, dependencies) and exit.
+//! * `--quiet` — suppress the per-job JSONL progress on stderr.
+
+use std::process::ExitCode;
+
+struct Cli {
+    only: Vec<String>,
+    fresh: bool,
+    jobs: usize,
+    results: Option<String>,
+    list: bool,
+    quiet: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        only: Vec::new(),
+        fresh: false,
+        jobs: 0,
+        results: None,
+        list: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires an argument"))
+        };
+        match arg.as_str() {
+            "--only" => cli
+                .only
+                .extend(take("--only")?.split(',').map(|s| s.trim().to_string())),
+            "--fresh" => cli.fresh = true,
+            "--jobs" => {
+                cli.jobs = take("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs requires a positive integer".to_string())?
+            }
+            "--results" => cli.results = Some(take("--results")?),
+            "--list" => cli.list = true,
+            "--quiet" => cli.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: all_experiments [--only JOB[,JOB...]] [--fresh] \
+                     [--jobs N] [--results DIR] [--list] [--quiet]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let campaign = experiments::campaign::build_campaign();
+    if cli.list {
+        println!("{:<22} {:<9} dependencies", "job", "kind");
+        for id in campaign.ids() {
+            let kind = if campaign.is_output(id) == Some(true) {
+                "output"
+            } else {
+                "artifact"
+            };
+            let deps = campaign.deps(id).unwrap().join(", ");
+            println!("{id:<22} {kind:<9} {deps}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut config = dt_campaign::CampaignConfig::for_results_dir(
+        cli.results
+            .map(Into::into)
+            .unwrap_or_else(experiments::results_dir),
+    );
+    config.only = cli.only;
+    config.fresh = cli.fresh;
+    config.workers = cli.jobs;
+    config.salt = experiments::campaign::library_fingerprint();
+    config.progress = !cli.quiet;
+
     let t0 = std::time::Instant::now();
-    experiments::emit("table01_methods", &experiments::table01_methods());
-    experiments::emit("table02_libpng", &experiments::table02_libpng());
-    experiments::emit("table03_testsuite", &experiments::table03_testsuite());
+    let outcome = match dt_campaign::run(campaign, &config) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("campaign could not run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = &outcome.report;
 
-    let tuner = experiments::make_tuner();
-    let programs = experiments::suite_inputs();
-    experiments::emit(
-        "table04_quality",
-        &experiments::table04_quality(&tuner, &programs),
-    );
-    let (t5, _) = experiments::table_top_passes(&tuner, &programs, dt_passes::Personality::Gcc);
-    experiments::emit("table05_gcc_passes", &t5);
-    let (t6, _) = experiments::table_top_passes(&tuner, &programs, dt_passes::Personality::Clang);
-    experiments::emit("table06_clang_passes", &t6);
-    experiments::emit(
-        "table07_breakdown",
-        &experiments::table07_breakdown(&tuner, &programs),
-    );
+    // Human-readable per-job outcomes (skipped jobs omitted).
+    for job in &report.jobs {
+        if job.status == dt_campaign::JobStatus::Skipped {
+            continue;
+        }
+        let mut line = format!(
+            "{:<22} {:<12} {:>8.1}s",
+            job.id,
+            job.status.name(),
+            job.duration_ms / 1000.0
+        );
+        if job.retries > 0 {
+            line.push_str(&format!("  ({} retries)", job.retries));
+        }
+        if let Some(by) = &job.poisoned_by {
+            line.push_str(&format!("  <- {by}"));
+        }
+        eprintln!("{line}");
+    }
 
-    let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
-    let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
-    experiments::emit(
-        "table08_tradeoff",
-        &experiments::table08_tradeoff(&gcc, &clang),
-    );
-    experiments::emit("table09_gcc_dy", &experiments::table_per_program_dy(&gcc));
-    experiments::emit(
-        "table10_clang_dy",
-        &experiments::table_per_program_dy(&clang),
-    );
-    experiments::emit(
-        "table11_spec_speedup",
-        &experiments::table_spec_speedups(&gcc, &clang, false),
-    );
-    experiments::emit(
-        "table12_spec_delta",
-        &experiments::table_spec_speedups(&gcc, &clang, true),
-    );
-    let (t13, t14, fig2) = experiments::pareto_tables(&gcc, &clang);
-    experiments::emit("table13_pareto_dbg", &t13);
-    experiments::emit("table14_pareto_perf", &t14);
-    experiments::emit("fig02_pareto", &fig2);
+    // The shared tuner's evaluation telemetry, when it ran this time.
+    if let Some(tuner) = outcome.value::<debugtuner::DebugTuner>("tuner") {
+        let stats = tuner.stats();
+        eprintln!("{}", stats.summary());
+        eprintln!("{}", stats.to_json());
+    }
 
-    let (t15, fig3) = experiments::autofdo_spec(&tuner, &programs);
-    experiments::emit("table15_autofdo", &t15);
-    experiments::emit("fig03_autofdo_spec", &fig3);
-    experiments::emit(
-        "fig04_selfcompile",
-        &experiments::fig04_selfcompile(&tuner, &programs),
-    );
-    experiments::emit("table16_correctness", &experiments::table16_correctness());
-
+    println!("{}", report.summary());
+    let failed: Vec<_> = report
+        .jobs
+        .iter()
+        .filter(|j| j.status == dt_campaign::JobStatus::Failed)
+        .collect();
+    if !failed.is_empty() {
+        for job in &failed {
+            eprintln!(
+                "FAILED {}: {}",
+                job.id,
+                job.error.as_deref().unwrap_or("unknown error")
+            );
+        }
+    }
     eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+    if report.success() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -1,9 +1,10 @@
 //! Figure 2: debuggability vs speedup scatter with Pareto front.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
     let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
     let (_, _, fig) = experiments::pareto_tables(&gcc, &clang);
-    experiments::emit("fig02_pareto", &fig);
+    experiments::emit("fig02_pareto", &fig)?;
+    Ok(())
 }

@@ -1,7 +1,8 @@
 //! Figure 3: AutoFDO relative performance on the benchmark suite.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let (_, fig3) = experiments::autofdo_spec(&tuner, &programs);
-    experiments::emit("fig03_autofdo_spec", &fig3);
+    experiments::emit("fig03_autofdo_spec", &fig3)?;
+    Ok(())
 }

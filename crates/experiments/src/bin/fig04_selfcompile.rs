@@ -1,9 +1,10 @@
 //! Figure 4: AutoFDO on the self-compilation workload.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     experiments::emit(
         "fig04_selfcompile",
         &experiments::fig04_selfcompile(&tuner, &programs),
-    );
+    )?;
+    Ok(())
 }

@@ -1,4 +1,5 @@
 //! Table I: measurement-method comparison on synthetic programs.
-fn main() {
-    experiments::emit("table01_methods", &experiments::table01_methods());
+fn main() -> std::io::Result<()> {
+    experiments::emit("table01_methods", &experiments::table01_methods())?;
+    Ok(())
 }

@@ -1,4 +1,5 @@
 //! Table II: debug information quality on libpng.
-fn main() {
-    experiments::emit("table02_libpng", &experiments::table02_libpng());
+fn main() -> std::io::Result<()> {
+    experiments::emit("table02_libpng", &experiments::table02_libpng())?;
+    Ok(())
 }

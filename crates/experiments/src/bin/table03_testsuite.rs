@@ -1,4 +1,5 @@
 //! Table III: test-suite corpus and coverage statistics.
-fn main() {
-    experiments::emit("table03_testsuite", &experiments::table03_testsuite());
+fn main() -> std::io::Result<()> {
+    experiments::emit("table03_testsuite", &experiments::table03_testsuite())?;
+    Ok(())
 }

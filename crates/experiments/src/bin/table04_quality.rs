@@ -1,9 +1,10 @@
 //! Table IV: product metric per program, gcc vs clang.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     experiments::emit(
         "table04_quality",
         &experiments::table04_quality(&tuner, &programs),
-    );
+    )?;
+    Ok(())
 }

@@ -1,7 +1,8 @@
 //! Table V: top 10 critical passes in gcc.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let (out, _) = experiments::table_top_passes(&tuner, &programs, dt_passes::Personality::Gcc);
-    experiments::emit("table05_gcc_passes", &out);
+    experiments::emit("table05_gcc_passes", &out)?;
+    Ok(())
 }

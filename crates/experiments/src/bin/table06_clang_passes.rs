@@ -1,7 +1,8 @@
 //! Table VI: top 10 critical passes in clang.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let (out, _) = experiments::table_top_passes(&tuner, &programs, dt_passes::Personality::Clang);
-    experiments::emit("table06_clang_passes", &out);
+    experiments::emit("table06_clang_passes", &out)?;
+    Ok(())
 }

@@ -1,9 +1,10 @@
 //! Table VII: gateable passes per level with effect breakdown.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     experiments::emit(
         "table07_breakdown",
         &experiments::table07_breakdown(&tuner, &programs),
-    );
+    )?;
+    Ok(())
 }

@@ -1,5 +1,5 @@
 //! Table VIII: Ox-dy debuggability/speedup deltas.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
@@ -7,5 +7,6 @@ fn main() {
     experiments::emit(
         "table08_tradeoff",
         &experiments::table08_tradeoff(&gcc, &clang),
-    );
+    )?;
+    Ok(())
 }

@@ -1,7 +1,8 @@
 //! Table IX: per-program quality for gcc Ox-dy configurations.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
-    experiments::emit("table09_gcc_dy", &experiments::table_per_program_dy(&gcc));
+    experiments::emit("table09_gcc_dy", &experiments::table_per_program_dy(&gcc))?;
+    Ok(())
 }

@@ -1,10 +1,11 @@
 //! Table X: per-program quality for clang Ox-dy configurations.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
     experiments::emit(
         "table10_clang_dy",
         &experiments::table_per_program_dy(&clang),
-    );
+    )?;
+    Ok(())
 }

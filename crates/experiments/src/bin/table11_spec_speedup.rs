@@ -1,5 +1,5 @@
 //! Table XI: speedup over O0 per benchmark, all configurations.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
@@ -7,5 +7,6 @@ fn main() {
     experiments::emit(
         "table11_spec_speedup",
         &experiments::table_spec_speedups(&gcc, &clang, false),
-    );
+    )?;
+    Ok(())
 }

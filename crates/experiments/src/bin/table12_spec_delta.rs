@@ -1,5 +1,5 @@
 //! Table XII: Ox-dy % speedup change vs reference level.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
@@ -7,5 +7,6 @@ fn main() {
     experiments::emit(
         "table12_spec_delta",
         &experiments::table_spec_speedups(&gcc, &clang, true),
-    );
+    )?;
+    Ok(())
 }

@@ -1,9 +1,10 @@
 //! Table XIII: Pareto analysis, debuggability axis.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
     let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
     let (t13, _, _) = experiments::pareto_tables(&gcc, &clang);
-    experiments::emit("table13_pareto_dbg", &t13);
+    experiments::emit("table13_pareto_dbg", &t13)?;
+    Ok(())
 }

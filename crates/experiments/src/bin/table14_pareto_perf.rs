@@ -1,9 +1,10 @@
 //! Table XIV: Pareto analysis, performance axis.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let gcc = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Gcc);
     let clang = experiments::tradeoff_data(&tuner, &programs, dt_passes::Personality::Clang);
     let (_, t14, _) = experiments::pareto_tables(&gcc, &clang);
-    experiments::emit("table14_pareto_perf", &t14);
+    experiments::emit("table14_pareto_perf", &t14)?;
+    Ok(())
 }

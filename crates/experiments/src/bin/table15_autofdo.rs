@@ -1,7 +1,8 @@
 //! Table XV: AutoFDO speedups with Ox-dy profiling configurations.
-fn main() {
+fn main() -> std::io::Result<()> {
     let tuner = experiments::make_tuner();
     let programs = experiments::suite_inputs();
     let (t15, _) = experiments::autofdo_spec(&tuner, &programs);
-    experiments::emit("table15_autofdo", &t15);
+    experiments::emit("table15_autofdo", &t15)?;
+    Ok(())
 }

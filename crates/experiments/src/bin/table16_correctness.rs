@@ -1,4 +1,8 @@
 //! Table XVI: debug-info correctness defects vs O0 ground truth.
-fn main() {
-    experiments::emit("table16_correctness", &experiments::table16_correctness());
+fn main() -> std::io::Result<()> {
+    experiments::emit(
+        "table16_correctness",
+        &experiments::table16_correctness(&experiments::suite_inputs()),
+    )?;
+    Ok(())
 }

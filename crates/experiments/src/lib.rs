@@ -18,6 +18,9 @@ use dt_metrics::stats;
 use dt_passes::{OptLevel, PassGate, Personality};
 use dt_testsuite::spec::{spec_suite, Workload};
 use std::fmt::Write as _;
+use std::path::PathBuf;
+
+pub mod campaign;
 
 type PerfReportLocal = debugtuner::PerfReport;
 
@@ -45,11 +48,23 @@ pub fn workload() -> Workload {
     }
 }
 
-/// Prints and persists one experiment's output.
-pub fn emit(id: &str, body: &str) {
+/// Where experiment artifacts are written (`DT_RESULTS_DIR`, default
+/// `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("DT_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Prints and persists one experiment's output. The write is atomic
+/// (temp file + rename, via the campaign store's writer), so a run
+/// killed mid-emit never leaves a truncated `results/*.txt`; I/O
+/// failures propagate to the caller instead of being swallowed.
+pub fn emit(id: &str, body: &str) -> std::io::Result<PathBuf> {
     println!("{body}");
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write(format!("results/{id}.txt"), body);
+    let path = results_dir().join(format!("{id}.txt"));
+    dt_campaign::write_atomic(&path, body)?;
+    Ok(path)
 }
 
 fn gcc_levels() -> &'static [OptLevel] {
@@ -818,8 +833,7 @@ pub fn fig04_selfcompile(tuner: &DebugTuner, programs: &[ProgramInput]) -> Strin
 /// Table XVI: debug-info *correctness* defects against O0 ground
 /// truth, per personality and level, classified by the checker's
 /// taxonomy (wrong / stale / phantom / misplaced).
-pub fn table16_correctness() -> String {
-    let programs = suite_inputs();
+pub fn table16_correctness(programs: &[ProgramInput]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -851,7 +865,7 @@ pub fn table16_correctness() -> String {
         let levels = OptLevel::levels_for(personality);
         let mut sums: Vec<dt_checker::DefectSummary> =
             vec![dt_checker::DefectSummary::default(); levels.len()];
-        for p in &programs {
+        for p in programs {
             let mut oracle = dt_checker::Oracle::new(&p.source, personality)
                 .unwrap_or_else(|e| panic!("oracle build failed on {}: {e}", p.name));
             for (i, &level) in levels.iter().enumerate() {

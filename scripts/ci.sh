@@ -25,4 +25,19 @@ cargo run --release --example det_check
 echo "== staged-session equivalence =="
 cargo run --release --example session_check
 
+echo "== campaign smoke (cold + warm, tiny knobs) =="
+CAMPAIGN_DIR="$(mktemp -d)"
+trap 'rm -rf "$CAMPAIGN_DIR"' EXIT
+export DT_SYNTH_N=4 DT_FUZZ_ITERS=8
+cold_summary="$(cargo run --release -p experiments --bin all_experiments -- \
+  --results "$CAMPAIGN_DIR" --quiet | tail -n 1)"
+echo "cold: $cold_summary"
+grep -q " failed=0 " <<<"$cold_summary"
+warm_summary="$(cargo run --release -p experiments --bin all_experiments -- \
+  --results "$CAMPAIGN_DIR" --quiet | tail -n 1)"
+echo "warm: $warm_summary"
+grep -q " ran=0 " <<<"$warm_summary"
+grep -q " failed=0 " <<<"$warm_summary"
+unset DT_SYNTH_N DT_FUZZ_ITERS
+
 echo "CI green."
