@@ -241,6 +241,9 @@ pub struct Oracle {
     analysis: SourceAnalysis,
     module: dt_ir::Module,
     o0: Object,
+    /// Precomputed breakpoint plan of the `O0` object: every
+    /// ground-truth session through the oracle takes the fast path.
+    o0_plan: dt_debugger::BreakPlan,
     sessions: HashMap<OptLevel, CompileSession>,
     base_traces: HashMap<BaseKey, DebugTrace>,
 }
@@ -267,12 +270,14 @@ impl Oracle {
         // default for both personalities, so this equals
         // `compile_source` at O0.
         let o0 = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let o0_plan = dt_debugger::BreakPlan::new(&o0);
         Ok(Oracle {
             personality,
             profile,
             analysis,
             module,
             o0,
+            o0_plan,
             sessions: HashMap::new(),
             base_traces: HashMap::new(),
         })
@@ -328,7 +333,13 @@ impl Oracle {
                 entry_args: entry_args.to_vec(),
                 ground_truth: true,
             };
-            let base = dt_debugger::trace(&self.o0, harness, inputs, &gt_session)?;
+            let base = dt_debugger::trace_with_plan(
+                &self.o0,
+                harness,
+                inputs,
+                &gt_session,
+                &self.o0_plan,
+            )?;
             self.base_traces.insert(key.clone(), base);
         }
         Ok(key)
@@ -353,7 +364,7 @@ impl Oracle {
             entry_args: entry_args.to_vec(),
             ground_truth: false,
         };
-        let opt = dt_debugger::trace(&opt_obj, harness, inputs, &session)?;
+        let opt = dt_debugger::trace_fast(&opt_obj, harness, inputs, &session)?;
         let base = &self.base_traces[&key];
         Ok(check(&opt, base, &self.analysis))
     }
@@ -462,17 +473,30 @@ pub fn hunt_variants(
 
     let mut results = Vec::with_capacity(gates.len());
     for opt_obj in &opt_objs {
+        // One plan per variant binary, reused across every fuzzed input
+        // of this campaign (the oracle traces the same object per
+        // input — the hot loop of the hunt).
+        let opt_plan = dt_debugger::BreakPlan::new(opt_obj);
         let mut defect_inputs: Vec<(Vec<u8>, DefectSummary)> = Vec::new();
         let report = {
             let interesting = |input: &[u8]| -> bool {
                 let base = base_memo.entry(input.to_vec()).or_insert_with(|| {
-                    dt_debugger::trace(&oracle.o0, harness, &[input.to_vec()], &gt_session).ok()
+                    dt_debugger::trace_with_plan(
+                        &oracle.o0,
+                        harness,
+                        &[input.to_vec()],
+                        &gt_session,
+                        &oracle.o0_plan,
+                    )
+                    .ok()
                 });
                 let Some(base) = base else {
                     return false;
                 };
                 let inputs = [input.to_vec()];
-                let Ok(opt) = dt_debugger::trace(opt_obj, harness, &inputs, &session) else {
+                let Ok(opt) =
+                    dt_debugger::trace_with_plan(opt_obj, harness, &inputs, &session, &opt_plan)
+                else {
                     return false;
                 };
                 let summary = check(&opt, base, &oracle.analysis).summary;

@@ -24,7 +24,7 @@
 
 use crate::eval::ProgramInput;
 use crate::telemetry::Telemetry;
-use dt_debugger::DebugTrace;
+use dt_debugger::{BreakPlan, DebugTrace};
 use dt_machine::Object;
 use dt_minic::analysis::SourceAnalysis;
 use dt_passes::{CompileSession, OptLevel, Personality};
@@ -35,7 +35,7 @@ use std::time::Instant;
 
 /// Everything derivable from one program independent of the
 /// optimization level under study.
-pub(crate) struct ProgramArtifacts {
+pub struct ProgramArtifacts {
     pub analysis: SourceAnalysis,
     /// The lowered IR module (seeds compile sessions without
     /// re-lexing/re-parsing/re-lowering).
@@ -44,6 +44,10 @@ pub(crate) struct ProgramArtifacts {
     /// empty and the backend configuration is the default for both
     /// personalities (pinned by a unit test below).
     pub o0: Object,
+    /// Precomputed breakpoint plan of the `O0` object, shared by every
+    /// session that re-traces the baseline binary (ground-truth
+    /// sessions take the same fast path as plain ones).
+    pub o0_plan: BreakPlan,
     /// Ground-truth (`SessionConfig::ground_truth`) baseline trace of
     /// the `O0` object over the program's input set — the single
     /// baseline every evaluation path diffs against.
@@ -64,8 +68,12 @@ impl ArtifactStore {
         Self::default()
     }
 
-    /// The program's shared artifacts, building them on first use.
-    pub(crate) fn program_artifacts(
+    /// The program's shared artifacts (parsed analysis, `O0` object,
+    /// its breakpoint plan, and the ground-truth baseline trace),
+    /// building them on first use. Public so external drivers — the
+    /// differential-equivalence check, benches — can trace against the
+    /// same cached `O0` plan the evaluation paths use.
+    pub fn program_artifacts(
         &self,
         program: &ProgramInput,
         max_steps: u64,
@@ -92,17 +100,26 @@ impl ArtifactStore {
             entry_args: program.entry_args.clone(),
             ground_truth: true,
         };
+        let o0_plan = BreakPlan::new(&o0);
         let trace_start = Instant::now();
-        let base_trace = dt_debugger::trace(&o0, &program.harness, &program.inputs, &session)
-            .expect("baseline session");
+        let (base_trace, trace_stats) = dt_debugger::trace_with_plan_stats(
+            &o0,
+            &program.harness,
+            &program.inputs,
+            &session,
+            &o0_plan,
+        )
+        .expect("baseline session");
         if let Some(t) = telemetry {
             t.record_trace(trace_start.elapsed());
+            t.record_fast_trace(&trace_stats);
         }
 
         let art = Arc::new(ProgramArtifacts {
             analysis,
             module,
             o0,
+            o0_plan,
             base_trace,
         });
         self.programs

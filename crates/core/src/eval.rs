@@ -155,6 +155,10 @@ pub struct ProgramEvaluation {
 }
 
 /// Computes the hybrid metrics of an object against a baseline trace.
+/// Sessions take the fast path (in-VM breakpoint bitmap on a
+/// per-object [`dt_debugger::BreakPlan`], early-exit inputs) — bit-
+/// identical to the slow-step reference engine by construction, so
+/// metrics and rankings are unchanged.
 fn metrics_for(
     obj: &dt_machine::Object,
     harness: &str,
@@ -163,15 +167,17 @@ fn metrics_for(
     base: &dt_debugger::DebugTrace,
     analysis: &SourceAnalysis,
     max_steps: u64,
-) -> (Metrics, dt_debugger::DebugTrace) {
+) -> (Metrics, dt_debugger::DebugTrace, dt_debugger::TraceStats) {
     let session = dt_debugger::SessionConfig {
         max_steps_per_input: max_steps,
         entry_args: entry_args.to_vec(),
         ground_truth: false,
     };
-    let trace = dt_debugger::trace(obj, harness, inputs, &session).expect("debug session runs");
+    let plan = dt_debugger::BreakPlan::new(obj);
+    let (trace, stats) = dt_debugger::trace_with_plan_stats(obj, harness, inputs, &session, &plan)
+        .expect("debug session runs");
     let m = dt_metrics::hybrid(&trace, base, analysis);
-    (m, trace)
+    (m, trace, stats)
 }
 
 /// Runs the four-stage evaluation workflow for one program, serially.
@@ -244,7 +250,7 @@ pub(crate) fn evaluate_program_ctx(
     // Stage 2+3: reference trace and metrics (source-refined by the
     // hybrid metric itself).
     let trace_start = Instant::now();
-    let (reference, ref_trace) = metrics_for(
+    let (reference, ref_trace, ref_stats) = metrics_for(
         &reference_obj,
         &program.harness,
         &program.inputs,
@@ -253,7 +259,10 @@ pub(crate) fn evaluate_program_ctx(
         analysis,
         max_steps,
     );
-    ctx.with_telemetry(|t| t.record_trace(trace_start.elapsed()));
+    ctx.with_telemetry(|t| {
+        t.record_trace(trace_start.elapsed());
+        t.record_fast_trace(&ref_stats);
+    });
     let methods = dt_metrics::all_methods(&reference_obj.debug, &ref_trace, base_trace, analysis);
     let reference_defects = dt_checker::check(&ref_trace, base_trace, analysis).summary;
 
@@ -293,7 +302,7 @@ pub(crate) fn evaluate_program_ctx(
         });
         let (m, defects) = cached.unwrap_or_else(|| {
             let trace_start = Instant::now();
-            let (m, variant_trace) = metrics_for(
+            let (m, variant_trace, variant_stats) = metrics_for(
                 &variant,
                 &program.harness,
                 &program.inputs,
@@ -303,7 +312,10 @@ pub(crate) fn evaluate_program_ctx(
                 max_steps,
             );
             let defects = dt_checker::check(&variant_trace, base_trace, analysis).summary;
-            ctx.with_telemetry(|t| t.record_trace(trace_start.elapsed()));
+            ctx.with_telemetry(|t| {
+                t.record_trace(trace_start.elapsed());
+                t.record_fast_trace(&variant_stats);
+            });
             if let Some(k) = cache_key {
                 ctx.trace_cache.unwrap().lock().insert(k, (m, defects));
             }
@@ -402,7 +414,7 @@ pub(crate) fn evaluate_config_with(
         t.record_variant_resume(built.prefix_skipped as u64);
     }
     let trace_start = Instant::now();
-    let (m, _) = metrics_for(
+    let (m, _, stats) = metrics_for(
         &built.object,
         &program.harness,
         &program.inputs,
@@ -413,6 +425,7 @@ pub(crate) fn evaluate_config_with(
     );
     if let Some(t) = telemetry {
         t.record_trace(trace_start.elapsed());
+        t.record_fast_trace(&stats);
     }
     m
 }

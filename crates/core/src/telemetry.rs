@@ -25,6 +25,9 @@ pub struct Telemetry {
     resumed_variants: AtomicU64,
     prefix_passes_skipped: AtomicU64,
     artifact_hits: AtomicU64,
+    fast_steps: AtomicU64,
+    break_stops: AtomicU64,
+    inputs_abandoned: AtomicU64,
     build_nanos: AtomicU64,
     trace_nanos: AtomicU64,
     rank_nanos: AtomicU64,
@@ -84,6 +87,19 @@ impl Telemetry {
         self.artifact_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A fast-path debug session finished: accumulate its per-session
+    /// counters (instructions run inside `Vm::run_until_break`,
+    /// breakpoint stops, inputs abandoned once the breakpoint set was
+    /// exhausted).
+    pub fn record_fast_trace(&self, stats: &dt_debugger::TraceStats) {
+        self.fast_steps
+            .fetch_add(stats.fast_steps, Ordering::Relaxed);
+        self.break_stops
+            .fetch_add(stats.break_stops, Ordering::Relaxed);
+        self.inputs_abandoned
+            .fetch_add(stats.inputs_abandoned, Ordering::Relaxed);
+    }
+
     pub fn record_rank(&self, elapsed: Duration) {
         self.rank_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
@@ -112,6 +128,9 @@ impl Telemetry {
             resumed_variants: self.resumed_variants.load(Ordering::Relaxed),
             prefix_passes_skipped: self.prefix_passes_skipped.load(Ordering::Relaxed),
             artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
+            fast_steps: self.fast_steps.load(Ordering::Relaxed),
+            break_stops: self.break_stops.load(Ordering::Relaxed),
+            inputs_abandoned: self.inputs_abandoned.load(Ordering::Relaxed),
             build_ms: ms(&self.build_nanos),
             trace_ms: ms(&self.trace_nanos),
             rank_ms: ms(&self.rank_nanos),
@@ -132,6 +151,9 @@ impl Telemetry {
             &self.resumed_variants,
             &self.prefix_passes_skipped,
             &self.artifact_hits,
+            &self.fast_steps,
+            &self.break_stops,
+            &self.inputs_abandoned,
             &self.build_nanos,
             &self.trace_nanos,
             &self.rank_nanos,
@@ -182,6 +204,17 @@ pub struct EvalStats {
     /// ground-truth baseline trace reused instead of rebuilt).
     #[serde(default)]
     pub artifact_hits: u64,
+    /// Instructions executed inside `Vm::run_until_break` across all
+    /// fast-path debug sessions (debug pseudos excluded).
+    #[serde(default)]
+    pub fast_steps: u64,
+    /// Breakpoint stops taken by fast-path debug sessions.
+    #[serde(default)]
+    pub break_stops: u64,
+    /// Inputs abandoned mid-run because every temporary breakpoint was
+    /// already consumed (early-exit sessions).
+    #[serde(default)]
+    pub inputs_abandoned: u64,
     /// Wall-clock spent compiling, summed across workers.
     pub build_ms: f64,
     /// Wall-clock spent in debug-trace sessions + metric computation,
@@ -200,7 +233,8 @@ impl EvalStats {
             "eval stats: {} program(s), {} build(s) ({:.0} ms), {} trace(s) ({:.0} ms), \
              {} trace-cache hit(s), {} eval-cache hit(s), {} pruned variant(s), \
              {} session(s) ({} snapshot(s)), {} resumed variant(s) skipping {} prefix pass(es), \
-             {} artifact-store hit(s), {:.0} ms wall on {} thread(s)",
+             {} artifact-store hit(s), {} fast step(s) / {} break stop(s) / \
+             {} abandoned input(s), {:.0} ms wall on {} thread(s)",
             self.programs,
             self.builds,
             self.build_ms,
@@ -214,6 +248,9 @@ impl EvalStats {
             self.resumed_variants,
             self.prefix_passes_skipped,
             self.artifact_hits,
+            self.fast_steps,
+            self.break_stops,
+            self.inputs_abandoned,
             self.wall_ms,
             self.threads
         )
@@ -269,6 +306,45 @@ mod tests {
         t.reset();
         assert_eq!(t.snapshot(1).prefix_passes_skipped, 0);
         assert_eq!(t.snapshot(1).sessions, 0);
+    }
+
+    #[test]
+    fn fast_trace_counters_accumulate() {
+        let t = Telemetry::default();
+        t.record_fast_trace(&dt_debugger::TraceStats {
+            fast_steps: 100,
+            break_stops: 7,
+            inputs_abandoned: 1,
+        });
+        t.record_fast_trace(&dt_debugger::TraceStats {
+            fast_steps: 50,
+            break_stops: 3,
+            inputs_abandoned: 0,
+        });
+        let s = t.snapshot(1);
+        assert_eq!(s.fast_steps, 150);
+        assert_eq!(s.break_stops, 10);
+        assert_eq!(s.inputs_abandoned, 1);
+        assert!(s.summary().contains("150 fast step(s)"));
+        assert!(s.summary().contains("10 break stop(s)"));
+        t.reset();
+        assert_eq!(t.snapshot(1).fast_steps, 0);
+    }
+
+    #[test]
+    fn stats_json_without_fast_path_fields_still_deserializes() {
+        // PR3/PR4-era EvalStats JSON has no fast-path counters; the
+        // new fields must default to zero instead of failing.
+        let old = r#"{"threads":2,"programs":1,"builds":3,"traces":2,
+            "trace_cache_hits":0,"eval_cache_hits":0,"pruned_variants":1,
+            "sessions":1,"snapshots":4,"resumed_variants":2,
+            "prefix_passes_skipped":5,"artifact_hits":1,
+            "build_ms":1.0,"trace_ms":2.0,"rank_ms":0.0,"wall_ms":3.0}"#;
+        let s: EvalStats = serde_json::from_str(old).unwrap();
+        assert_eq!(s.sessions, 1);
+        assert_eq!(s.fast_steps, 0);
+        assert_eq!(s.break_stops, 0);
+        assert_eq!(s.inputs_abandoned, 0);
     }
 
     #[test]

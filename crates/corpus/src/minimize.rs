@@ -56,9 +56,11 @@ pub fn cmin(
     kept_indices.into_iter().map(|i| queue[i].clone()).collect()
 }
 
-/// The set of lines stepped when debugging `input` alone.
+/// The set of lines stepped when debugging `input` alone, traced
+/// against a precomputed breakpoint plan of `obj`.
 fn stepped_lines(
     obj: &Object,
+    plan: &dt_debugger::BreakPlan,
     entry: &str,
     entry_args: &[i64],
     input: &[u8],
@@ -69,9 +71,15 @@ fn stepped_lines(
         entry_args: entry_args.to_vec(),
         ..Default::default()
     };
-    dt_debugger::trace(obj, entry, std::slice::from_ref(&input.to_vec()), &cfg)
-        .map(|t| t.stepped_lines())
-        .unwrap_or_default()
+    dt_debugger::trace_with_plan(
+        obj,
+        entry,
+        std::slice::from_ref(&input.to_vec()),
+        &cfg,
+        plan,
+    )
+    .map(|t| t.stepped_lines())
+    .unwrap_or_default()
 }
 
 /// Debug-trace minimization: a greedy set cover over stepped source
@@ -84,10 +92,18 @@ pub fn trace_min(
     inputs: &[Vec<u8>],
     max_steps: u64,
 ) -> Vec<Vec<u8>> {
+    // Every input is traced against the same binary: resolve the
+    // breakpoint set to instruction indices once.
+    let plan = dt_debugger::BreakPlan::new(obj);
     let mut measured: Vec<(usize, BTreeSet<u32>)> = inputs
         .iter()
         .enumerate()
-        .map(|(i, input)| (i, stepped_lines(obj, entry, entry_args, input, max_steps)))
+        .map(|(i, input)| {
+            (
+                i,
+                stepped_lines(obj, &plan, entry, entry_args, input, max_steps),
+            )
+        })
         .collect();
     measured.sort_by_key(|(i, lines)| (std::cmp::Reverse(lines.len()), *i));
 

@@ -46,6 +46,13 @@ pub struct VmConfig {
     /// the correctness checker's ground-truth sessions; off by default
     /// because the bindings cost a map update per debug pseudo.
     pub track_dbg_bindings: bool,
+    /// Simulate the microarchitectural cost model (cycle charges,
+    /// load-use stalls, the branch predictor, PC sampling). On by
+    /// default; performance measurement and AutoFDO need it. Debug
+    /// sessions turn it off — architectural state (registers, memory,
+    /// control flow, step counts, halt reasons) is bit-identical either
+    /// way, only `cycles`/`samples` stay zero/empty.
+    pub model_cycles: bool,
 }
 
 impl Default for VmConfig {
@@ -56,6 +63,7 @@ impl Default for VmConfig {
             collect_coverage: false,
             max_depth: 512,
             track_dbg_bindings: false,
+            model_cycles: true,
         }
     }
 }
@@ -118,6 +126,10 @@ pub struct Vm<'a> {
     samples: Vec<u32>,
     coverage: Option<CoverageMap>,
     predictor: Vec<u8>,
+    /// Frame base of the current (innermost) frame, maintained on
+    /// call/return so the per-instruction memory ops need no
+    /// `frames.last()` probe.
+    frame_base: usize,
     /// Register defined by the previous instruction, when it was a load.
     last_load_def: Option<u8>,
     /// The next instruction's base cost is waived (SLP fusion).
@@ -172,7 +184,12 @@ impl<'a> Vm<'a> {
             next_sample: config.sample_interval.unwrap_or(u64::MAX),
             samples: Vec::new(),
             coverage,
-            predictor: vec![1; obj.code.len()],
+            predictor: if config.model_cycles {
+                vec![1; obj.code.len()]
+            } else {
+                Vec::new() // only indexed under the cycle model
+            },
+            frame_base: 0,
             last_load_def: None,
             fuse_next: false,
             halted: None,
@@ -213,6 +230,84 @@ impl<'a> Vm<'a> {
     /// Whether the VM has halted (and why).
     pub fn halt_reason(&self) -> Option<&Halt> {
         self.halted.as_ref()
+    }
+
+    /// Instructions executed so far (debug pseudos excluded).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs at full speed until the VM halts or reaches an instruction
+    /// whose index is set in `breaks`, a dense bitmap over
+    /// [`Object::code`] (bit `i` of `breaks[i / 64]`). The test happens
+    /// *before* each instruction executes — including the instruction
+    /// the VM is currently poised at — so a caller that stops at an
+    /// armed index must clear that bit (or step past it) before
+    /// resuming, exactly like a debugger removing a temporary
+    /// breakpoint. Returns the armed instruction index, or `None` once
+    /// halted.
+    ///
+    /// This is the debugger's fast path: one bit test per instruction
+    /// instead of a per-step address probe, with [`Vm::step`]'s exact
+    /// semantics (cycle model, step budget, coverage, `dbg` bindings)
+    /// in between. Debug pseudos are never armed — they share the byte
+    /// address of the next real instruction — so they execute without
+    /// any opcode re-match here.
+    ///
+    /// `skip_pseudos`, when given, is a caller-precomputed hop table
+    /// (`skip_pseudos[i]` = first non-pseudo index at or after `i`,
+    /// with the identity for real indices and `code.len()` mapped to
+    /// itself) letting the loop step over `Dbg` pseudos without
+    /// dispatching them at all. Pseudos are zero-size, charge no
+    /// cycles, and don't count as steps, so every architectural
+    /// outcome is unchanged — pass `None` when
+    /// [`VmConfig::track_dbg_bindings`] is set, since bindings only
+    /// update when pseudos actually execute.
+    pub fn run_until_break(
+        &mut self,
+        breaks: &[u64],
+        skip_pseudos: Option<&[u32]>,
+    ) -> Option<usize> {
+        if self.config.model_cycles {
+            self.run_until_break_impl::<true>(breaks, skip_pseudos)
+        } else {
+            self.run_until_break_impl::<false>(breaks, skip_pseudos)
+        }
+    }
+
+    fn run_until_break_impl<const MODEL: bool>(
+        &mut self,
+        breaks: &[u64],
+        skip_pseudos: Option<&[u32]>,
+    ) -> Option<usize> {
+        if let Some(hop) = skip_pseudos {
+            if let Some(&j) = hop.get(self.pc) {
+                self.pc = j as usize;
+            }
+            while self.halted.is_none() {
+                let pc = self.pc;
+                if let Some(word) = breaks.get(pc >> 6) {
+                    if word & (1u64 << (pc & 63)) != 0 {
+                        return Some(pc);
+                    }
+                }
+                self.step_body::<MODEL>();
+                if let Some(&j) = hop.get(self.pc) {
+                    self.pc = j as usize;
+                }
+            }
+        } else {
+            while self.halted.is_none() {
+                let pc = self.pc;
+                if let Some(word) = breaks.get(pc >> 6) {
+                    if word & (1u64 << (pc & 63)) != 0 {
+                        return Some(pc);
+                    }
+                }
+                self.step_body::<MODEL>();
+            }
+        }
+        None
     }
 
     /// Cycles consumed so far.
@@ -289,7 +384,10 @@ impl<'a> Vm<'a> {
         self.halted = Some(Halt::Trap(msg.into()));
     }
 
-    fn charge(&mut self, base: u64) {
+    fn charge<const MODEL: bool>(&mut self, base: u64) {
+        if !MODEL {
+            return;
+        }
         let cost = if self.fuse_next { 0 } else { base };
         self.fuse_next = false;
         self.cycles += cost;
@@ -301,7 +399,10 @@ impl<'a> Vm<'a> {
 
     /// Charges the load-use stall if this instruction consumes the
     /// previous load's destination.
-    fn stall_if_uses(&mut self, used: &[u8]) {
+    fn stall_if_uses<const MODEL: bool>(&mut self, used: &[u8]) {
+        if !MODEL {
+            return;
+        }
         if let Some(ld) = self.last_load_def {
             if used.contains(&ld) {
                 self.cycles += 2;
@@ -310,7 +411,14 @@ impl<'a> Vm<'a> {
     }
 
     fn wrap_index(ri: i64, len: u32) -> usize {
-        (ri.rem_euclid(len as i64)) as usize
+        // In-bounds indices (the overwhelmingly common case) skip the
+        // `rem_euclid` integer division; out-of-range ones wrap to the
+        // exact same value it would have produced.
+        if (ri as u64) < len as u64 {
+            ri as usize
+        } else {
+            (ri.rem_euclid(len as i64)) as usize
+        }
     }
 
     fn record_branch(&mut self, inst_idx: usize, taken: bool) {
@@ -321,9 +429,27 @@ impl<'a> Vm<'a> {
 
     /// Executes one instruction. Does nothing once halted.
     pub fn step(&mut self) {
+        if self.config.model_cycles {
+            self.step_impl::<true>()
+        } else {
+            self.step_impl::<false>()
+        }
+    }
+
+    /// [`Vm::step`] monomorphized on whether the cycle model runs, so
+    /// the `MODEL = false` copy compiles with every cost-model branch
+    /// statically removed from the dispatch loop.
+    fn step_impl<const MODEL: bool>(&mut self) {
         if self.halted.is_some() {
             return;
         }
+        self.step_body::<MODEL>();
+    }
+
+    /// One instruction, assuming the caller has already checked
+    /// [`Vm::halted`] (as both [`Vm::step_impl`] and the
+    /// [`Vm::run_until_break`] loop do each iteration).
+    fn step_body<const MODEL: bool>(&mut self) {
         if self.steps >= self.config.max_steps {
             self.halted = Some(Halt::StepLimit);
             return;
@@ -357,32 +483,32 @@ impl<'a> Vm<'a> {
                 return;
             }
             FOp::Imm { rd, value } => {
-                self.charge(1);
+                self.charge::<MODEL>(1);
                 self.regs[*rd as usize] = *value;
             }
             FOp::Mov { rd, rs } => {
-                self.stall_if_uses(&[*rs]);
-                self.charge(1);
+                self.stall_if_uses::<MODEL>(&[*rs]);
+                self.charge::<MODEL>(1);
                 self.regs[*rd as usize] = self.regs[*rs as usize];
             }
             FOp::Un { op, rd, rs } => {
-                self.stall_if_uses(&[*rs]);
-                self.charge(1);
+                self.stall_if_uses::<MODEL>(&[*rs]);
+                self.charge::<MODEL>(1);
                 self.regs[*rd as usize] = op.eval(self.regs[*rs as usize]);
             }
             FOp::Bin { op, rd, ra, rb } => {
-                self.stall_if_uses(&[*ra, *rb]);
-                self.charge(binop_cost(*op));
+                self.stall_if_uses::<MODEL>(&[*ra, *rb]);
+                self.charge::<MODEL>(binop_cost(*op));
                 self.regs[*rd as usize] = op.eval(self.regs[*ra as usize], self.regs[*rb as usize]);
             }
             FOp::BinImm { op, rd, ra, imm } => {
-                self.stall_if_uses(&[*ra]);
-                self.charge(binop_cost(*op));
+                self.stall_if_uses::<MODEL>(&[*ra]);
+                self.charge::<MODEL>(binop_cost(*op));
                 self.regs[*rd as usize] = op.eval(self.regs[*ra as usize], *imm);
             }
             FOp::Select { rd, rc, ra, rb } => {
-                self.stall_if_uses(&[*rc, *ra, *rb]);
-                self.charge(2);
+                self.stall_if_uses::<MODEL>(&[*rc, *ra, *rb]);
+                self.charge::<MODEL>(2);
                 self.regs[*rd as usize] = if self.regs[*rc as usize] != 0 {
                     self.regs[*ra as usize]
                 } else {
@@ -390,72 +516,73 @@ impl<'a> Vm<'a> {
                 };
             }
             FOp::LdSlot { rd, off } => {
-                self.charge(3);
-                let base = self.frames.last().map_or(0, |f| f.frame_base);
+                self.charge::<MODEL>(3);
+                let base = self.frame_base;
                 self.regs[*rd as usize] =
                     self.stack.get(base + *off as usize).copied().unwrap_or(0);
                 new_load_def = Some(*rd);
             }
             FOp::StSlot { off, rs } => {
-                self.stall_if_uses(&[*rs]);
-                self.charge(3);
-                let base = self.frames.last().map_or(0, |f| f.frame_base);
-                let idx = base + *off as usize;
+                self.stall_if_uses::<MODEL>(&[*rs]);
+                self.charge::<MODEL>(3);
+                let idx = self.frame_base + *off as usize;
                 if idx < self.stack.len() {
                     self.stack[idx] = self.regs[*rs as usize];
                 }
             }
             FOp::LdIdx { rd, off, ri, len } => {
-                self.stall_if_uses(&[*ri]);
-                self.charge(4);
-                let base = self.frames.last().map_or(0, |f| f.frame_base);
-                let idx = base + *off as usize + Self::wrap_index(self.regs[*ri as usize], *len);
+                self.stall_if_uses::<MODEL>(&[*ri]);
+                self.charge::<MODEL>(4);
+                let idx = self.frame_base
+                    + *off as usize
+                    + Self::wrap_index(self.regs[*ri as usize], *len);
                 self.regs[*rd as usize] = self.stack.get(idx).copied().unwrap_or(0);
                 new_load_def = Some(*rd);
             }
             FOp::StIdx { off, ri, rs, len } => {
-                self.stall_if_uses(&[*ri, *rs]);
-                self.charge(4);
-                let base = self.frames.last().map_or(0, |f| f.frame_base);
-                let idx = base + *off as usize + Self::wrap_index(self.regs[*ri as usize], *len);
+                self.stall_if_uses::<MODEL>(&[*ri, *rs]);
+                self.charge::<MODEL>(4);
+                let idx = self.frame_base
+                    + *off as usize
+                    + Self::wrap_index(self.regs[*ri as usize], *len);
                 if idx < self.stack.len() {
                     self.stack[idx] = self.regs[*rs as usize];
                 }
             }
             FOp::LdG { rd, addr } => {
-                self.charge(3);
+                self.charge::<MODEL>(3);
                 self.regs[*rd as usize] = self.globals.get(*addr as usize).copied().unwrap_or(0);
                 new_load_def = Some(*rd);
             }
             FOp::StG { addr, rs } => {
-                self.stall_if_uses(&[*rs]);
-                self.charge(3);
+                self.stall_if_uses::<MODEL>(&[*rs]);
+                self.charge::<MODEL>(3);
                 if (*addr as usize) < self.globals.len() {
                     self.globals[*addr as usize] = self.regs[*rs as usize];
                 }
             }
             FOp::LdGIdx { rd, base, ri, len } => {
-                self.stall_if_uses(&[*ri]);
-                self.charge(4);
+                self.stall_if_uses::<MODEL>(&[*ri]);
+                self.charge::<MODEL>(4);
                 let idx = *base as usize + Self::wrap_index(self.regs[*ri as usize], *len);
                 self.regs[*rd as usize] = self.globals.get(idx).copied().unwrap_or(0);
                 new_load_def = Some(*rd);
             }
             FOp::StGIdx { base, ri, rs, len } => {
-                self.stall_if_uses(&[*ri, *rs]);
-                self.charge(4);
+                self.stall_if_uses::<MODEL>(&[*ri, *rs]);
+                self.charge::<MODEL>(4);
                 let idx = *base as usize + Self::wrap_index(self.regs[*ri as usize], *len);
                 if idx < self.globals.len() {
                     self.globals[idx] = self.regs[*rs as usize];
                 }
             }
             FOp::SetArg { k, rs } => {
-                self.stall_if_uses(&[*rs]);
-                self.charge(1);
+                self.stall_if_uses::<MODEL>(&[*rs]);
+                self.charge::<MODEL>(1);
                 self.args[*k as usize] = self.regs[*rs as usize];
             }
             FOp::GetArg { rd, k } => {
-                self.charge(1);
+                self.charge::<MODEL>(1);
                 self.regs[*rd as usize] = self.args[*k as usize];
             }
             FOp::CallF { func } => {
@@ -471,7 +598,7 @@ impl<'a> Vm<'a> {
                 if info.shrink_wrapped {
                     cost = cost.saturating_sub(2);
                 }
-                self.charge(cost);
+                self.charge::<MODEL>(cost);
                 if let Some(cov) = &mut self.coverage {
                     cov.set(self.obj.code.len() * 2 + *func as usize);
                 }
@@ -484,13 +611,15 @@ impl<'a> Vm<'a> {
                     func: *func,
                     dbg_bindings: BTreeMap::new(),
                 });
+                self.frame_base = frame_base;
                 self.current_func = *func;
                 next_pc = info.start_index as usize;
             }
             FOp::Ret => {
-                self.charge(4);
+                self.charge::<MODEL>(4);
                 let frame = self.frames.pop().expect("frame underflow");
                 self.stack.truncate(frame.frame_base);
+                self.frame_base = self.frames.last().map_or(0, |f| f.frame_base);
                 if frame.ret_pc == usize::MAX {
                     self.halted = Some(Halt::Finished);
                     self.pc = 0;
@@ -501,7 +630,7 @@ impl<'a> Vm<'a> {
                 next_pc = frame.ret_pc;
             }
             FOp::Jmp { target } => {
-                self.charge(2);
+                self.charge::<MODEL>(2);
                 next_pc = *target as usize;
             }
             FOp::JCond {
@@ -509,28 +638,31 @@ impl<'a> Vm<'a> {
                 if_nonzero,
                 target,
             } => {
-                self.stall_if_uses(&[*rs]);
+                self.stall_if_uses::<MODEL>(&[*rs]);
                 let cond = self.regs[*rs as usize] != 0;
                 let taken = cond == *if_nonzero;
-                // 2-bit predictor.
-                let p = &mut self.predictor[self.pc];
-                let predicted_taken = *p >= 2;
-                let mispredict = predicted_taken != taken;
-                if taken {
-                    *p = (*p + 1).min(3);
-                } else {
-                    *p = p.saturating_sub(1);
+                if MODEL {
+                    // 2-bit predictor (cost-model state only; the
+                    // branch outcome never depends on it).
+                    let p = &mut self.predictor[self.pc];
+                    let predicted_taken = *p >= 2;
+                    let mispredict = predicted_taken != taken;
+                    if taken {
+                        *p = (*p + 1).min(3);
+                    } else {
+                        *p = p.saturating_sub(1);
+                    }
+                    let cost = 1 + taken as u64 + if mispredict { 10 } else { 0 };
+                    self.charge::<MODEL>(cost);
                 }
-                let cost = 1 + taken as u64 + if mispredict { 10 } else { 0 };
-                self.charge(cost);
                 self.record_branch(self.pc, taken);
                 if taken {
                     next_pc = *target as usize;
                 }
             }
             FOp::In { rd, ri } => {
-                self.stall_if_uses(&[*ri]);
-                self.charge(4);
+                self.stall_if_uses::<MODEL>(&[*ri]);
+                self.charge::<MODEL>(4);
                 let i = self.regs[*ri as usize];
                 self.regs[*rd as usize] = if i >= 0 && (i as usize) < self.input.len() {
                     self.input[i as usize] as i64
@@ -539,19 +671,21 @@ impl<'a> Vm<'a> {
                 };
             }
             FOp::InLen { rd } => {
-                self.charge(4);
+                self.charge::<MODEL>(4);
                 self.regs[*rd as usize] = self.input.len() as i64;
             }
             FOp::Out { rs } => {
-                self.stall_if_uses(&[*rs]);
-                self.charge(4);
+                self.stall_if_uses::<MODEL>(&[*rs]);
+                self.charge::<MODEL>(4);
                 self.output.push(self.regs[*rs as usize]);
             }
         }
 
-        self.last_load_def = new_load_def;
-        if fused {
-            self.fuse_next = true;
+        if MODEL {
+            self.last_load_def = new_load_def;
+            if fused {
+                self.fuse_next = true;
+            }
         }
         self.pc = next_pc;
     }
@@ -836,6 +970,163 @@ mod tests {
         let in_f: Vec<i64> = vm.shadow_values().iter().map(|&(_, v)| v).collect();
         assert!(in_f.contains(&10), "x=10 missing in f: {in_f:?}");
         assert!(in_f.contains(&11), "r=11 missing in f: {in_f:?}");
+    }
+
+    /// Bitmap over instruction indices with every `is_stmt` line-table
+    /// address armed, resolved exactly like the debugger's fast path.
+    fn armed_bitmap(obj: &dt_machine::Object) -> Vec<u64> {
+        let mut bits = vec![0u64; obj.code.len().div_ceil(64)];
+        for row in obj.debug.line_table.rows() {
+            if row.line != 0 && row.is_stmt {
+                if let Some(idx) = obj.index_of_addr(row.addr) {
+                    bits[idx >> 6] |= 1 << (idx & 63);
+                }
+            }
+        }
+        bits
+    }
+
+    #[test]
+    fn armed_break_indices_are_never_dbg_pseudos() {
+        // Debug pseudos are zero-size: they share the byte address of
+        // the next real instruction, so resolving a breakpoint address
+        // to an instruction index must always land on the real
+        // instruction. `run_until_break` relies on this to skip
+        // pseudos without any opcode re-match.
+        for src in [
+            "int f() { int x = 7; int y = x * 2; out(y); return y; }",
+            "int g(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }\n\
+             int f() { int r = g(in(0)); out(r); return r; }",
+        ] {
+            let module = dt_frontend::lower_source(src).unwrap();
+            let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+            let bits = armed_bitmap(&obj);
+            let mut armed = 0;
+            for (i, inst) in obj.code.iter().enumerate() {
+                if bits[i >> 6] & (1 << (i & 63)) != 0 {
+                    armed += 1;
+                    assert!(
+                        !matches!(inst.op, FOp::Dbg { .. }),
+                        "armed break index {i} is a Dbg pseudo"
+                    );
+                }
+            }
+            assert!(armed > 0, "some indices must be armed");
+        }
+    }
+
+    #[test]
+    fn run_until_break_matches_slow_stepping() {
+        let src =
+            "int f() { int s = 0; for (int i = 0; i < 5; i++) { s += in(i); } out(s); return s; }";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let bits = armed_bitmap(&obj);
+        let input = [3u8, 1, 4, 1, 5];
+
+        // Slow walk: record every armed index passed over, stepping one
+        // instruction at a time (bits stay armed — no clearing).
+        let mut slow = Vm::new(&obj, "f", &[], &input, VmConfig::default()).unwrap();
+        let mut slow_stops = Vec::new();
+        while slow.halt_reason().is_none() {
+            let pc = slow.pc_index();
+            if bits[pc >> 6] & (1 << (pc & 63)) != 0 {
+                slow_stops.push(pc);
+            }
+            slow.step();
+        }
+
+        // Fast walk: run_until_break with a one-shot clear per stop.
+        let mut fast = Vm::new(&obj, "f", &[], &input, VmConfig::default()).unwrap();
+        let mut working = bits.clone();
+        let mut fast_stops = Vec::new();
+        while let Some(idx) = fast.run_until_break(&working, None) {
+            fast_stops.push(idx);
+            working[idx >> 6] &= !(1 << (idx & 63));
+        }
+        // Re-arming after stepping past reproduces every slow stop.
+        let mut fast2 = Vm::new(&obj, "f", &[], &input, VmConfig::default()).unwrap();
+        let mut all_stops = Vec::new();
+        while let Some(idx) = fast2.run_until_break(&bits, None) {
+            all_stops.push(idx);
+            // Step past the armed instruction (armed indices are real
+            // instructions, so one counted step moves beyond it).
+            let before = fast2.steps();
+            while fast2.halt_reason().is_none() && fast2.steps() == before {
+                fast2.step();
+            }
+        }
+        assert_eq!(all_stops, slow_stops, "every armed pass-over is a stop");
+        // One-shot stops are the distinct prefix subsequence.
+        let mut seen = std::collections::HashSet::new();
+        let distinct: Vec<usize> = slow_stops
+            .iter()
+            .copied()
+            .filter(|i| seen.insert(*i))
+            .collect();
+        assert_eq!(fast_stops, distinct);
+        // Both executions finish with identical results.
+        while fast.halt_reason().is_none() {
+            fast.step();
+        }
+        let (a, b) = (slow.into_result(), fast.into_result());
+        assert_eq!(a.ret, b.ret);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn run_until_break_with_no_armed_bits_runs_to_completion() {
+        let src =
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i * i; } return s; }";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let reference = Vm::run_to_completion(&obj, "f", &[40], &[], VmConfig::default()).unwrap();
+        let mut vm = Vm::new(&obj, "f", &[40], &[], VmConfig::default()).unwrap();
+        let bits = vec![0u64; obj.code.len().div_ceil(64)];
+        assert_eq!(vm.run_until_break(&bits, None), None);
+        let r = vm.into_result();
+        assert_eq!(r.ret, reference.ret);
+        assert_eq!(r.cycles, reference.cycles);
+        assert_eq!(r.steps, reference.steps);
+        assert_eq!(r.halt, Halt::Finished);
+    }
+
+    #[test]
+    fn disabling_cycle_model_preserves_architectural_state() {
+        let src = "\
+int helper(int v) { int w = v * 3; return w - 1; }
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i - (i / 3) * 3 == 0) { s += helper(i); } else { s -= i; }
+    }
+    out(s);
+    return s;
+}";
+        let module = dt_frontend::lower_source(src).unwrap();
+        let obj = dt_machine::run_backend(&module, &dt_machine::BackendConfig::default());
+        let modeled = Vm::run_to_completion(&obj, "f", &[37], &[], VmConfig::default()).unwrap();
+        let plain = Vm::run_to_completion(
+            &obj,
+            "f",
+            &[37],
+            &[],
+            VmConfig {
+                model_cycles: false,
+                ..VmConfig::default()
+            },
+        )
+        .unwrap();
+        // Registers, memory, control flow, and step counts agree; only
+        // the cost model's outputs go dark.
+        assert_eq!(plain.ret, modeled.ret);
+        assert_eq!(plain.output, modeled.output);
+        assert_eq!(plain.steps, modeled.steps);
+        assert_eq!(plain.halt, modeled.halt);
+        assert_eq!(plain.cycles, 0);
+        assert!(modeled.cycles > 0);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Trace-engine equivalence check: every debug session run through the
+//! fast path (precomputed `BreakPlan`, in-VM breakpoint bitmap via
+//! `Vm::run_until_break`, early-exit inputs) must produce a
+//! field-for-field identical `DebugTrace` to the slow-step reference
+//! engine — across the whole suite plus synthetic programs, both
+//! personalities, every optimization level, and both plain and
+//! ground-truth sessions.
+//!
+//! Usage: `cargo run --release --example trace_equiv_check`
+
+use dt_debugger::{trace, trace_with_plan_stats, BreakPlan, SessionConfig, TraceStats};
+use dt_passes::{compile_source, CompileOptions, OptLevel, Personality};
+
+fn main() {
+    struct Case {
+        name: String,
+        source: String,
+        harness: String,
+        inputs: Vec<Vec<u8>>,
+    }
+    let mut cases: Vec<Case> = dt_testsuite::real_world_suite()
+        .iter()
+        .map(|p| Case {
+            name: p.name.to_string(),
+            source: p.source.to_string(),
+            harness: p.harnesses[0].to_string(),
+            inputs: p.seeds.iter().map(|s| s.to_vec()).collect(),
+        })
+        .collect();
+    let shape = dt_testsuite::synth::SynthConfig::default();
+    for seed in [3u64, 41, 118, 126, 204] {
+        cases.push(Case {
+            name: format!("synth{seed}"),
+            source: dt_testsuite::synth::generate(seed, &shape),
+            harness: "fuzz_main".into(),
+            inputs: vec![vec![seed as u8, 9], vec![], vec![seed as u8 ^ 0x5a; 6]],
+        });
+    }
+
+    let mut failures = 0usize;
+    let mut sessions = 0usize;
+    let mut totals = TraceStats::default();
+    for case in &cases {
+        for personality in [Personality::Gcc, Personality::Clang] {
+            for &level in OptLevel::levels_for(personality) {
+                let obj =
+                    compile_source(&case.source, &CompileOptions::new(personality, level)).unwrap();
+                let plan = BreakPlan::new(&obj);
+                for ground_truth in [false, true] {
+                    let cfg = SessionConfig {
+                        max_steps_per_input: 2_000_000,
+                        entry_args: vec![],
+                        ground_truth,
+                    };
+                    let slow = trace(&obj, &case.harness, &case.inputs, &cfg).unwrap();
+                    let (fast, stats) =
+                        trace_with_plan_stats(&obj, &case.harness, &case.inputs, &cfg, &plan)
+                            .unwrap();
+                    sessions += 1;
+                    totals.merge(&stats);
+                    if slow != fast {
+                        failures += 1;
+                        println!(
+                            "{} {personality:?} {level:?} gt={ground_truth}: \
+                             fast path DIVERGES from slow-step trace",
+                            case.name
+                        );
+                    }
+                }
+            }
+        }
+        eprintln!("{}: checked", case.name);
+    }
+    println!(
+        "trace equivalence complete: {sessions} session pair(s), \
+         {} fast step(s), {} break stop(s), {} abandoned input(s), \
+         {failures} divergent trace(s)",
+        totals.fast_steps, totals.break_stops, totals.inputs_abandoned
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

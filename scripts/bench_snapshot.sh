@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Captures the repository's bench trajectory: runs the key Criterion
+# groups and writes a machine-readable summary (times + headline
+# speedups) to a BENCH_*.json at the repo root.
+#
+#   scripts/bench_snapshot.sh [OUTPUT]         # default: BENCH_5.json
+#   BENCH_GROUPS="debug_trace vm" scripts/bench_snapshot.sh
+#
+# BENCH_GROUPS selects which bench targets run (default: debug_trace,
+# the fast-path-vs-slow-step trace group this PR tracks).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_5.json}"
+GROUPS_TO_RUN="${BENCH_GROUPS:-debug_trace}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+for group in $GROUPS_TO_RUN; do
+  echo "== bench: $group =="
+  cargo bench -p dt-bench --bench "$group" 2>&1 | tee -a "$RAW"
+done
+
+python3 - "$RAW" "$OUT" "$GROUPS_TO_RUN" <<'EOF'
+import json
+import re
+import sys
+
+raw, out, groups = sys.argv[1], sys.argv[2], sys.argv[3].split()
+pat = re.compile(
+    r"^(\S+): mean ([\d.]+)(ns|µs|ms|s) min ([\d.]+)(ns|µs|ms|s)"
+    r" max ([\d.]+)(ns|µs|ms|s) \((\d+) samples\)"
+)
+to_us = {"ns": 1e-3, "µs": 1.0, "ms": 1e3, "s": 1e6}
+results = {}
+with open(raw, encoding="utf-8") as f:
+    for line in f:
+        m = pat.match(line.strip())
+        if m:
+            # Group-qualified labels ("debug_trace/trace_slow_...")
+            # are keyed by their final segment.
+            results[m.group(1).rsplit("/", 1)[-1]] = {
+                "mean_us": round(float(m.group(2)) * to_us[m.group(3)], 3),
+                "min_us": round(float(m.group(4)) * to_us[m.group(5)], 3),
+                "max_us": round(float(m.group(6)) * to_us[m.group(7)], 3),
+                "samples": int(m.group(8)),
+            }
+
+# Headline ratios for the debug_trace group: slow-step reference vs the
+# fast path (reused plan) and vs the one-shot form (plan built inline).
+speedups = {}
+for prog in ("libpng", "wasm3"):
+    slow = results.get(f"trace_slow_{prog}_o2")
+    fast = results.get(f"trace_fast_{prog}_o2")
+    oneshot = results.get(f"trace_fast_oneshot_{prog}_o2")
+    if slow and fast:
+        entry = {"fast_vs_slow": round(slow["mean_us"] / fast["mean_us"], 2)}
+        if oneshot:
+            entry["oneshot_vs_slow"] = round(slow["mean_us"] / oneshot["mean_us"], 2)
+        speedups[f"{prog}_o2"] = entry
+
+json.dump(
+    {
+        "groups": groups,
+        "note": "all times in microseconds; speedups are mean/mean ratios",
+        "results": results,
+        "speedups": speedups,
+    },
+    open(out, "w"),
+    indent=2,
+)
+print(f"wrote {out} ({len(results)} benchmark(s))")
+EOF

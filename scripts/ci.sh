@@ -25,6 +25,9 @@ cargo run --release --example det_check
 echo "== staged-session equivalence =="
 cargo run --release --example session_check
 
+echo "== trace-engine equivalence (fast path vs slow step) =="
+cargo run --release --example trace_equiv_check
+
 echo "== campaign smoke (cold + warm, tiny knobs) =="
 CAMPAIGN_DIR="$(mktemp -d)"
 trap 'rm -rf "$CAMPAIGN_DIR"' EXIT
